@@ -1,0 +1,53 @@
+"""DESIGN.md extra ablations: replacement policy, stale pointers, tags,
+the rejected multi-tag alternative, and the tagged next-target extension."""
+
+from repro.experiments import (
+    run_multitag_alternative,
+    run_next_target_tag_extension,
+    run_replacement_ablation,
+    run_stale_pointer_ablation,
+    run_tag_width_ablation,
+)
+
+from conftest import run_once
+
+
+def test_replacement_policy_ablation(benchmark):
+    result = run_once(benchmark, run_replacement_ablation)
+    print("\n" + result.render())
+    # SRRIP (the paper's choice) must not be materially worse than LRU.
+    assert result.gains["srrip"] > result.gains["lru"] - 0.02
+    assert all(gain > -0.05 for gain in result.gains.values())
+
+
+def test_stale_pointer_ablation(benchmark):
+    result = run_once(benchmark, run_stale_pointer_ablation)
+    print("\n" + result.render())
+    dangling = result.gains["dangling pointers (paper)"]
+    eager = result.gains["eager invalidation"]
+    # Paper: stale reads are ~0.06%, so skipping the invalidation
+    # hardware costs (almost) nothing.
+    assert abs(dangling - eager) < 0.03
+
+
+def test_tag_width_ablation(benchmark):
+    result = run_once(benchmark, run_tag_width_ablation)
+    print("\n" + result.render())
+    # Wider tags reduce aliasing; gains should not degrade with width.
+    assert result.gains["14-bit tags"] > result.gains["8-bit tags"] - 0.02
+
+
+def test_multitag_alternative(benchmark):
+    result = run_once(benchmark, run_multitag_alternative)
+    print("\n" + result.render())
+    # Section 4.2: the BTBM indirection beats multi-tag sharing -- the
+    # static tag-slot limit and the tag overhead both bite.
+    assert result.gains["pdede (BTBM indirection)"] > result.gains["multi-tag alternative"]
+
+
+def test_next_target_tag_extension(benchmark):
+    result = run_once(benchmark, run_next_target_tag_extension)
+    print("\n" + result.render())
+    # The future-work tag guard must not materially hurt; it trades a
+    # few provisions for fewer bogus ones.
+    assert abs(result.gains["4-bit next tag"] - result.gains["untagged (paper)"]) < 0.03

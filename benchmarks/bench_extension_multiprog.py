@@ -1,0 +1,24 @@
+"""Extensions: multiprogramming pressure and GHRP predictive replacement."""
+
+from repro.experiments import run_ghrp_combination, run_multiprogramming
+
+from conftest import run_once
+
+
+def test_multiprogramming(benchmark):
+    result = run_once(benchmark, run_multiprogramming)
+    print("\n" + result.render())
+    # Consolidated working sets are the capacity-bound worst case: PDede
+    # must keep a positive gain on every mix.
+    assert result.gains, "no mixes produced"
+    for mix, gain in result.gains.items():
+        assert gain > 0.0, mix
+
+
+def test_ghrp_combination(benchmark):
+    result = run_once(benchmark, run_ghrp_combination)
+    print("\n" + result.render())
+    # GHRP attacks replacement, PDede attacks encoding: both should be
+    # non-negative, with PDede clearly larger at iso-storage.
+    assert result.gains["pdede-me"] > result.gains["ghrp baseline"]
+    assert result.gains["ghrp baseline"] > -0.02

@@ -1,0 +1,15 @@
+"""Section 5.10 closing claim: PDede complements BTB prefetching."""
+
+from repro.experiments import run_prefetch_complement
+
+from conftest import run_once
+
+
+def test_prefetch_complement(benchmark):
+    result = run_once(benchmark, run_prefetch_complement)
+    print("\n" + result.render())
+    gains = result.gains
+    # PDede alone must beat prefetching alone (the paper's iso-storage
+    # argument), and adding the prefetcher on top must not hurt PDede.
+    assert gains["pdede-me"] > gains["baseline + prefetch"] - 0.02
+    assert gains["pdede-me + prefetch"] > gains["pdede-me"] - 0.02

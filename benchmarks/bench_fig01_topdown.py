@@ -1,0 +1,14 @@
+"""Figure 1: Top-Down frontend stall breakdown across the suite."""
+
+from repro.experiments import run_fig1
+
+from conftest import run_once
+
+
+def test_fig01_topdown(benchmark):
+    result = run_once(benchmark, run_fig1)
+    print("\n" + result.render())
+    # Paper: the suite is frontend-bound, with BTB resteers a major
+    # contributor to frontend stalls.
+    assert result.report.mean_frontend_bound > 0.15
+    assert result.report.mean_btb_resteer_share > 0.1

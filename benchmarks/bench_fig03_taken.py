@@ -1,0 +1,13 @@
+"""Figure 3: static/dynamic taken-branch fractions."""
+
+from repro.experiments import run_fig3
+
+from conftest import run_once
+
+
+def test_fig03_taken(benchmark):
+    result = run_once(benchmark, run_fig3)
+    print("\n" + result.render())
+    # Paper: branches are taken more than 50% of the time, both ways.
+    assert result.mean_static > 0.5
+    assert result.mean_dynamic > 0.5

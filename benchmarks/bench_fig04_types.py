@@ -1,0 +1,16 @@
+"""Figure 4: branch-type mix among taken branches."""
+
+from repro.experiments import run_fig4
+
+from conftest import run_once
+
+
+def test_fig04_types(benchmark):
+    result = run_once(benchmark, run_fig4)
+    print("\n" + result.render())
+    means = result.mean_fractions()
+    # Paper: skewed towards conditional + unconditional direct, but all
+    # types occur frequently enough to matter.
+    assert means["COND_DIRECT"] > 0.4
+    assert means.get("CALL_INDIRECT", 0) + means.get("UNCOND_INDIRECT", 0) > 0.01
+    assert abs(sum(means.values()) - 1.0) < 1e-6

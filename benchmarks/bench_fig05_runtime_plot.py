@@ -1,0 +1,14 @@
+"""Figure 5: runtime region/page/offset series for a browser app."""
+
+from repro.experiments import run_fig5
+
+from conftest import run_once
+
+
+def test_fig05_runtime_plot(benchmark):
+    result = run_once(benchmark, run_fig5, app="browser_html5_render")
+    print("\n" + result.render())
+    series = result.series
+    # Paper: few regions, ~100x more pages, with locality inside regions.
+    assert series.distinct_regions() <= 16
+    assert series.distinct_pages() > series.distinct_regions() * 5

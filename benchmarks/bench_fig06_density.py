@@ -1,0 +1,14 @@
+"""Figure 6: average branch targets per page and per region."""
+
+from repro.experiments import run_fig6
+
+from conftest import run_once
+
+
+def test_fig06_density(benchmark):
+    result = run_once(benchmark, run_fig6)
+    print("\n" + result.render())
+    # Paper: ~18 targets per page, ~2200 per region.  The shape to hold:
+    # pages hold tens, regions hold hundreds-to-thousands.
+    assert 5 <= result.mean_targets_per_page <= 40
+    assert result.mean_targets_per_region > 20 * result.mean_targets_per_page

@@ -1,0 +1,17 @@
+"""Figure 7: uniqueness of targets / regions / pages / offsets."""
+
+from repro.experiments import run_fig7
+
+from conftest import run_once
+
+
+def test_fig07_unique(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print("\n" + result.render())
+    means = result.means()
+    # Paper: targets 67%, regions 0.07%, pages 5%, offsets 18% of PCs.
+    assert 0.5 < means["targets"] < 0.95
+    assert means["regions"] < 0.01
+    assert 0.02 < means["pages"] < 0.12
+    assert 0.05 < means["offsets"] < 0.35
+    assert means["regions"] < means["pages"] < means["offsets"] < means["targets"]

@@ -1,0 +1,15 @@
+"""Figure 8: branch-PC-to-target page distance."""
+
+from repro.experiments import run_fig8
+
+from conftest import run_once
+
+
+def test_fig08_distance(benchmark):
+    result = run_once(benchmark, run_fig8)
+    print("\n" + result.render())
+    # Paper: over 60% of branches have PC and target in the same page.
+    assert result.mean_same_page > 0.5
+    buckets = result.mean_buckets()
+    assert buckets["same page"] == result.mean_same_page
+    assert abs(sum(buckets.values()) - 1.0) < 1e-6

@@ -1,0 +1,32 @@
+"""Figure 10: the headline IPC / MPKI comparison across PDede designs."""
+
+from repro.experiments import run_fig10
+
+from conftest import run_once
+
+
+def test_fig10_main(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print("\n" + result.render())
+    speedups = result.mean_speedups()
+    reductions = result.mean_mpki_reductions()
+
+    # Paper shape: Default < Multi-Target < Multi-Entry, all positive.
+    assert 1.0 < speedups["pdede-default"] <= speedups["pdede-multi-target"] + 0.005
+    assert speedups["pdede-multi-target"] <= speedups["pdede-multi-entry"] + 0.005
+    assert reductions["pdede-multi-entry"] > reductions["pdede-default"] - 0.01
+
+    # Substantial MPKI reduction for the best design (paper: 54.7%).
+    assert reductions["pdede-multi-entry"] > 0.25
+
+    # Figure 10c: a wide per-app spread with every app gaining (paper:
+    # 3%..76%); at reduced scale we accept small noise at the low end.
+    curve = result.per_app_gain_curve()
+    assert curve[-1][1] > 0.05
+    assert curve[0][1] > -0.02
+
+    # The 50%-larger baseline lands in the same gain class as
+    # PDede-Default, as the paper's text observes.
+    larger = result.results["baseline-150pct"].mean_speedup()
+    default = result.results["pdede-default"].mean_speedup()
+    assert abs(larger - default) < 0.05

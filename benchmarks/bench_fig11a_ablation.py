@@ -1,0 +1,20 @@
+"""Figure 11a: IPC contribution of each PDede technique."""
+
+from repro.experiments import run_fig11a
+
+from conftest import run_once
+
+
+def test_fig11a_ablation(benchmark):
+    result = run_once(benchmark, run_fig11a)
+    print("\n" + result.render())
+    ladder = dict(result.ladder())
+
+    # Paper ladder: dedup-only is the weakest rung (1.6%); partitioning
+    # adds the bulk; delta encoding and the two storage-recycling designs
+    # add on top (total 14.4% for multi-entry).
+    assert ladder["dedup-only"] < ladder["pdede-default"]
+    assert ladder["partition-only"] < ladder["pdede-default"] + 0.01
+    assert ladder["pdede-default"] <= ladder["pdede-multi-target"] + 0.005
+    assert ladder["pdede-multi-target"] <= ladder["pdede-multi-entry"] + 0.005
+    assert ladder["pdede-multi-entry"] > 0.02

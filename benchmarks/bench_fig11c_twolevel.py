@@ -1,0 +1,14 @@
+"""Figure 11c: two-level BTBs with PDede re-architecting the L1."""
+
+from repro.experiments import run_fig11c
+
+from conftest import run_once
+
+
+def test_fig11c_twolevel(benchmark):
+    result = run_once(benchmark, run_fig11c)
+    print("\n" + result.render())
+    # Paper: PDede-ifying only the L1 still yields significant gains at
+    # every L0 size.
+    for entries, gain in result.gains_by_l0.items():
+        assert gain > 0.0, f"no gain at L0={entries}"

@@ -1,0 +1,16 @@
+"""Figure 12a: comparison against a Shotgun-like BTB."""
+
+from repro.experiments import run_fig12a
+
+from conftest import run_once
+
+
+def test_fig12a_shotgun(benchmark):
+    result = run_once(benchmark, run_fig12a)
+    print("\n" + result.render())
+    # Paper: Shotgun buys ~0.8% at iso-storage and ~2.7% at 45KB --
+    # far below PDede.  The shape to hold: PDede > Shotgun variants,
+    # and more Shotgun storage helps Shotgun.
+    assert result.pdede_gain > result.shotgun_iso_gain
+    assert result.pdede_gain > result.shotgun_45k_gain
+    assert result.shotgun_45k_gain >= result.shotgun_iso_gain - 0.01

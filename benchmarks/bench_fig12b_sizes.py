@@ -1,0 +1,19 @@
+"""Figure 12b: iso-storage PDede gains at larger BTB capacities."""
+
+from repro.experiments import run_fig12b
+
+from conftest import run_once
+
+
+def test_fig12b_sizes(benchmark):
+    result = run_once(benchmark, run_fig12b)
+    print("\n" + result.render())
+    gains = result.gains_by_size
+    # Paper: gains persist at 8K/16K entries but shrink as working sets
+    # start to fit (14.4% at 4K down to 3.3% at 16K).
+    assert gains[4096] > 0
+    assert gains[16384] > -0.01
+    assert gains[16384] < gains[4096]
+    # Iso-storage discipline at every point.
+    for entries, (base_kib, pdede_kib) in result.storages_kib.items():
+        assert pdede_kib <= base_kib * 1.05

@@ -1,0 +1,15 @@
+"""Figure 12c: smallest PDede configuration that is iso-MPKI with baseline."""
+
+from repro.experiments import run_fig12c
+
+from conftest import run_once
+
+
+def test_fig12c_isompki(benchmark):
+    result = run_once(benchmark, run_fig12c)
+    print("\n" + result.render())
+    # Paper: iso-MPKI at ~19KB, a ~49% storage saving.  Shape: a PDede
+    # configuration meaningfully below 37.5KB matches baseline MPKI.
+    assert result.baseline_mpki > 0
+    assert result.chosen_kib < 37.5
+    assert result.saving_fraction > 0.15

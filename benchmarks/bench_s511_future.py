@@ -1,0 +1,15 @@
+"""Section 5.11: PDede on wider/deeper future pipelines."""
+
+from repro.experiments import run_future_pipelines
+
+from conftest import run_once
+
+
+def test_s511_future_pipelines(benchmark):
+    result = run_once(benchmark, run_future_pipelines)
+    print("\n" + result.render())
+    gains = result.gains
+    # Paper: gains grow with pipeline scale (14.4% -> 16.8% -> 20.1%):
+    # deeper pipelines pay more per resteer.
+    assert gains["1.5x pipeline"] > gains["1.0x pipeline"] - 0.005
+    assert gains["2.0x pipeline"] > gains["1.0x pipeline"]

@@ -1,0 +1,13 @@
+"""Section 5.7: storing return targets in the BTB instead of a RAS."""
+
+from repro.experiments import run_returns_in_btb
+
+from conftest import run_once
+
+
+def test_s57_returns_in_btb(benchmark):
+    result = run_once(benchmark, run_returns_in_btb)
+    print("\n" + result.render())
+    # Paper: PDede still gains 13.7% when returns live in the BTB
+    # (slightly below the RAS configuration's 14.4%).
+    assert result.gains["returns in BTB"] > 0

@@ -1,0 +1,22 @@
+"""Table 2: storage requirements of PDede vs the baseline BTB."""
+
+from repro.experiments import run_table2
+
+from conftest import run_once
+
+
+def test_tab2_storage(benchmark):
+    result = run_once(benchmark, run_table2)
+    print("\n" + result.render())
+    rows = {row.name: row for row in result.rows}
+    baseline = rows["Baseline BTB"]
+    assert baseline.total_kib == 37.5
+    # Every PDede design stays in the iso-storage class (paper: "as
+    # close as possible" to the baseline budget).
+    for name, row in rows.items():
+        if name != "Baseline BTB":
+            assert row.total_kib <= baseline.total_kib * 1.03, name
+    # Multi-entry tracks twice the baseline's branches.
+    assert rows["PDede (multi_entry)"].components["btbm"] > rows[
+        "PDede (default)"
+    ].components["btbm"]

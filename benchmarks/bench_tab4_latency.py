@@ -1,0 +1,22 @@
+"""Table 4: access latency at 22nm, 1 and 6 RW ports."""
+
+import pytest
+
+from repro.experiments import run_table4
+
+from conftest import run_once
+
+
+def test_tab4_latency(benchmark):
+    result = run_once(benchmark, run_table4)
+    print("\n" + result.render())
+    entries = result.entries
+    # Published points: baseline 0.24/0.72, Page-BTB 0.09/0.16,
+    # PDede chain 0.30/0.71 (we match BTBM within the fit tolerance).
+    assert entries["Baseline BTB"][1] == pytest.approx(0.24, abs=0.02)
+    assert entries["Baseline BTB"][6] == pytest.approx(0.72, abs=0.08)
+    assert entries["Page-BTB (PBTB)"][1] == pytest.approx(0.09, abs=0.02)
+    # Structural claims: BTBM alone beats the baseline; only the serial
+    # chain is slower -- the basis for the 1-extra-cycle model.
+    assert entries["BTBM"][1] < entries["Baseline BTB"][1]
+    assert entries["PDede (BTBM+PBTB)"][1] > entries["Baseline BTB"][1]

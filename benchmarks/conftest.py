@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Benchmarks default to the ``smoke`` suite scale (8 applications,
+60K-event traces) so a full ``pytest benchmarks/ --benchmark-only`` run
+finishes in minutes; export ``REPRO_SCALE=default`` or ``=full`` for the
+larger reproductions.  Simulation results are memoised process-wide, so
+benchmark files that share (app, design) pairs do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "smoke")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

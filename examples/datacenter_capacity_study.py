@@ -1,0 +1,79 @@
+"""Capacity study over the Server category (the paper's intro scenario).
+
+Data-center applications have branch working sets far beyond any
+practical BTB.  This example sweeps BTB capacity for both designs over
+the Server workloads and answers two questions the paper's evaluation
+poses:
+
+1. how does BTB MPKI fall as capacity grows (and where does PDede sit
+   on that curve at iso-storage)?  -- the Figure 12b question;
+2. how much storage does PDede need to *match* the baseline's MPKI?
+   -- the Figure 12c question.
+
+Usage::
+
+    python examples/datacenter_capacity_study.py
+"""
+
+from __future__ import annotations
+
+from repro import BaselineBTB, FrontendSimulator, PDedeBTB, PDedeMode, paper_config
+from repro.workloads import build_suite, generate_trace
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def main() -> None:
+    server_specs = [spec for spec in build_suite("smoke") if spec.category == "Server"]
+    print(f"Server workloads: {[spec.name for spec in server_specs]}")
+    traces = [generate_trace(spec) for spec in server_specs]
+
+    print("\n-- capacity sweep (baseline) ------------------------------")
+    print(f"{'entries':>8s} {'storage':>10s} {'mean MPKI':>10s} {'mean IPC':>9s}")
+    baseline_points = {}
+    for entries in (2048, 4096, 8192, 16384):
+        stats = [
+            FrontendSimulator(BaselineBTB(entries=entries)).run(t, warmup_fraction=0.3)
+            for t in traces
+        ]
+        mpki = mean(s.btb_mpki for s in stats)
+        ipc = mean(s.ipc for s in stats)
+        baseline_points[entries] = mpki
+        storage = BaselineBTB(entries=entries).storage_kib()
+        print(f"{entries:>8d} {storage:>8.1f}KB {mpki:>10.2f} {ipc:>9.3f}")
+
+    print("\n-- PDede multi-entry at iso-storage ------------------------")
+    print(f"{'config':>16s} {'storage':>10s} {'mean MPKI':>10s}")
+    pdede_mpki = {}
+    for factor in (1, 2):
+        config = paper_config(PDedeMode.MULTI_ENTRY).scaled(factor)
+        stats = [
+            FrontendSimulator(PDedeBTB(config)).run(t, warmup_fraction=0.3)
+            for t in traces
+        ]
+        mpki = mean(s.btb_mpki for s in stats)
+        pdede_mpki[factor] = mpki
+        print(f"{'ME x' + str(factor):>16s} {config.storage_kib():>8.1f}KB {mpki:>10.2f}")
+
+    print("\n-- iso-MPKI search (Figure 12c style) ----------------------")
+    target = baseline_points[4096]
+    print(f"baseline (37.5 KiB) MPKI to match: {target:.2f}")
+    for btbm_entries, page_entries in ((2048, 256), (4096, 512), (6144, 1024), (8192, 1024)):
+        config = paper_config(PDedeMode.MULTI_ENTRY).replace(
+            btbm_entries=btbm_entries, page_entries=page_entries
+        )
+        stats = [
+            FrontendSimulator(PDedeBTB(config)).run(t, warmup_fraction=0.3)
+            for t in traces
+        ]
+        mpki = mean(s.btb_mpki for s in stats)
+        marker = "  <-- iso-MPKI" if mpki <= target else ""
+        print(f"  ME {btbm_entries:5d} entries @ {config.storage_kib():5.1f} KiB: "
+              f"MPKI {mpki:6.2f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

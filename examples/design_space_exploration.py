@@ -1,0 +1,72 @@
+"""Design-space exploration of the PDede micro-architecture knobs.
+
+Sweeps the knobs DESIGN.md calls out for ablation -- BTBM tag width,
+Page-BTB capacity, replacement policy, and stale-pointer handling --
+on one server workload, reporting MPKI, the wrong-target rate, and the
+stale-pointer read rate for each point.  This is the kind of study a
+designer adopting PDede would run before freezing an implementation.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import FrontendSimulator, PDedeBTB, PDedeMode, paper_config
+from repro.workloads import build_suite, generate_trace
+
+
+def evaluate(config, trace):
+    btb = PDedeBTB(config)
+    stats = FrontendSimulator(btb).run(trace, warmup_fraction=0.3)
+    taken = max(1, btb.stats.taken_lookups)
+    return {
+        "mpki": stats.btb_mpki,
+        "ipc": stats.ipc,
+        "wrong_target_rate": btb.stats.wrong_target / taken,
+        "stale_read_rate": btb.stale_pointer_reads / taken,
+        "delta_entries": btb.delta_entry_count(),
+        "storage_kib": config.storage_kib(),
+    }
+
+
+def show(label, result):
+    print(
+        f"  {label:28s} mpki={result['mpki']:6.2f} ipc={result['ipc']:.3f} "
+        f"wrong-tgt={result['wrong_target_rate']:7.4%} "
+        f"stale={result['stale_read_rate']:7.4%} "
+        f"({result['storage_kib']:.1f} KiB)"
+    )
+
+
+def main() -> None:
+    spec = [s for s in build_suite("smoke") if s.name == "server_microservice_00"][0]
+    trace = generate_trace(spec)
+    base = paper_config(PDedeMode.MULTI_ENTRY)
+    print(f"Workload: {spec.name}, {len(trace):,} events\n")
+
+    print("BTBM tag width (aliasing vs storage):")
+    for tag_bits in (8, 10, 12, 14):
+        show(f"tag = {tag_bits} bits", evaluate(base.replace(tag_bits=tag_bits), trace))
+
+    print("\nPage-BTB capacity (dedup reach vs storage):")
+    for page_entries in (256, 512, 1024, 2048):
+        config = base.replace(page_entries=page_entries)
+        show(f"page entries = {page_entries}", evaluate(config, trace))
+
+    print("\nReplacement policy (paper uses SRRIP):")
+    for policy in ("srrip", "lru", "fifo", "random"):
+        show(policy, evaluate(base.replace(replacement=policy), trace))
+
+    print("\nStale-pointer handling (Section 4.4.2 trade-off):")
+    show("dangling (paper)", evaluate(base, trace))
+    show("eager invalidation", evaluate(base.replace(invalidate_stale_pointers=True), trace))
+
+    print("\nLookup-latency policy (Figure 11b):")
+    show("delta bypass (paper)", evaluate(base, trace))
+    show("always 2-cycle", evaluate(base.replace(always_two_cycle=True), trace))
+
+
+if __name__ == "__main__":
+    main()

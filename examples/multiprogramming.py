@@ -1,0 +1,50 @@
+"""Consolidation study: two programs timesharing one core's BTB.
+
+Data-center cores run consolidated workloads; the per-entry PID bit in
+every BTB of the paper exists exactly for this.  This example interleaves
+two applications in scheduling quanta and shows how the union working
+set squeezes the baseline BTB while PDede's doubled effective capacity
+absorbs it -- and how the gain varies with the scheduling quantum.
+
+Usage::
+
+    python examples/multiprogramming.py
+"""
+
+from __future__ import annotations
+
+from repro import BaselineBTB, FrontendSimulator, PDedeBTB, PDedeMode, paper_config
+from repro.workloads import build_suite, generate_trace, interleave_traces
+from repro.workloads.mixing import working_set_overlap
+
+
+def simulate(trace, btb):
+    return FrontendSimulator(btb).run(trace, warmup_fraction=0.3)
+
+
+def main() -> None:
+    suite = {spec.name: spec for spec in build_suite("smoke")}
+    first = generate_trace(suite["server_oltp_00"])
+    second = generate_trace(suite["browser_js_static_analyzer"])
+    print(f"programs: {first.name} ({first.static_branch_count():,} static branches), "
+          f"{second.name} ({second.static_branch_count():,})")
+    print(f"address-space overlap: {working_set_overlap(first, second):.2%}\n")
+
+    print(f"{'workload':44s}{'base MPKI':>10s}{'PDede MPKI':>11s}{'IPC gain':>9s}")
+    rows = [("solo: " + first.name, first), ("solo: " + second.name, second)]
+    for quantum in (500, 2000, 8000):
+        mixed = interleave_traces([first, second], quantum_events=quantum)
+        mixed.name = f"mix @ quantum={quantum}"
+        rows.append((mixed.name, mixed))
+    for label, trace in rows:
+        base = simulate(trace, BaselineBTB())
+        pdede = simulate(trace, PDedeBTB(paper_config(PDedeMode.MULTI_ENTRY)))
+        gain = pdede.speedup_over(base) - 1.0
+        print(f"{label:44s}{base.btb_mpki:>10.2f}{pdede.btb_mpki:>11.2f}{gain:>8.1%}")
+
+    print("\nConsolidation roughly sums the miss pressure of the two programs")
+    print("(at any realistic quantum), and PDede's advantage grows with it.")
+
+
+if __name__ == "__main__":
+    main()

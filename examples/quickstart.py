@@ -1,0 +1,59 @@
+"""Quickstart: compare the baseline BTB against PDede on one workload.
+
+Runs a synthetic server application through the frontend timing model
+twice -- once with the conventional 4K-entry BTB, once with the
+iso-storage PDede multi-entry design -- and prints the paper's headline
+metrics: BTB MPKI, IPC, and the relative improvement.
+
+Usage::
+
+    python examples/quickstart.py [app-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BaselineBTB,
+    FrontendSimulator,
+    PDedeBTB,
+    PDedeMode,
+    paper_config,
+)
+from repro.workloads import build_suite, generate_trace
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "server_microservice_00"
+    suite = {spec.name: spec for spec in build_suite("smoke")}
+    if app_name not in suite:
+        raise SystemExit(f"unknown app {app_name!r}; options: {sorted(suite)}")
+    spec = suite[app_name]
+    print(f"Generating trace for {spec.name} ({spec.category}, seed {spec.seed}) ...")
+    trace = generate_trace(spec)
+    print(f"  {len(trace):,} branch events, {trace.instruction_count:,} instructions")
+    print(f"  {trace.static_branch_count():,} static branches, "
+          f"{trace.dynamic_taken_fraction():.0%} taken dynamically")
+
+    baseline_btb = BaselineBTB()
+    pdede_btb = PDedeBTB(paper_config(PDedeMode.MULTI_ENTRY))
+    print(f"\nBaseline BTB : {baseline_btb.storage_kib():.1f} KiB")
+    print(f"PDede (ME)   : {pdede_btb.storage_kib():.1f} KiB")
+
+    print("\nSimulating ...")
+    baseline = FrontendSimulator(baseline_btb).run(trace, warmup_fraction=0.3)
+    pdede = FrontendSimulator(pdede_btb).run(trace, warmup_fraction=0.3)
+
+    print(f"\n{'metric':24s}{'baseline':>12s}{'PDede-ME':>12s}")
+    print(f"{'IPC':24s}{baseline.ipc:>12.3f}{pdede.ipc:>12.3f}")
+    print(f"{'BTB MPKI':24s}{baseline.btb_mpki:>12.2f}{pdede.btb_mpki:>12.2f}")
+    print(f"{'decode resteers':24s}{baseline.decode_resteers:>12d}{pdede.decode_resteers:>12d}")
+    print(f"{'frontend-bound cycles':24s}{baseline.frontend_bound_fraction:>11.1%}"
+          f"{pdede.frontend_bound_fraction:>11.1%}")
+    print(f"\nIPC speedup     : {pdede.speedup_over(baseline) - 1.0:+.1%}")
+    print(f"MPKI reduction  : {pdede.mpki_reduction_vs(baseline):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The offline environment lacks the ``wheel`` package, so we keep a classic
+``setup.py`` (and no ``[build-system]`` table) to let ``pip install -e .``
+fall back to the legacy develop install that works without bdist_wheel.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PDede: Partitioned, Deduplicated, Delta Branch Target Buffer "
+        "(MICRO 2021) reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

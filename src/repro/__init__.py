@@ -1,0 +1,79 @@
+"""repro: a reproduction of *PDede: Partitioned, Deduplicated, Delta
+Branch Target Buffer* (MICRO 2021).
+
+Quickstart::
+
+    from repro import (
+        BaselineBTB, PDedeBTB, PDedeMode, paper_config,
+        FrontendSimulator, build_suite, generate_trace,
+    )
+
+    spec = build_suite("smoke")[0]
+    trace = generate_trace(spec)
+    baseline = FrontendSimulator(BaselineBTB()).run(trace)
+    pdede = FrontendSimulator(PDedeBTB(paper_config(PDedeMode.MULTI_ENTRY))).run(trace)
+    print(pdede.speedup_over(baseline))
+
+Package map:
+
+* :mod:`repro.core` -- the PDede BTB (the paper's contribution);
+* :mod:`repro.btb` -- baseline BTB, RAS, ITTAGE, two-level, Shotgun;
+* :mod:`repro.branch` -- addresses, branch kinds, direction predictors;
+* :mod:`repro.workloads` -- the synthetic 102-application suite;
+* :mod:`repro.frontend` -- the decoupled-frontend timing model;
+* :mod:`repro.analysis` -- Section 3 characterisation, Top-Down;
+* :mod:`repro.storage` -- Table 2 storage / Table 4 latency models;
+* :mod:`repro.experiments` -- one runner per paper figure/table.
+"""
+
+from repro.branch import BranchEvent, BranchKind, make_direction_predictor
+from repro.btb import (
+    BaselineBTB,
+    BTBLookup,
+    BranchTargetPredictor,
+    ITTagePredictor,
+    ReturnAddressStack,
+    ShotgunBTB,
+    TwoLevelBTB,
+)
+from repro.core import (
+    DedupOnlyBTB,
+    PDedeBTB,
+    PDedeConfig,
+    PDedeMode,
+    paper_config,
+    partition_only_config,
+)
+from repro.frontend import CoreParams, FrontendSimulator, FrontendStats, ICELAKE
+from repro.workloads import Trace, WorkloadSpec, build_suite, generate_trace, suite_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchEvent",
+    "BranchKind",
+    "make_direction_predictor",
+    "BaselineBTB",
+    "BTBLookup",
+    "BranchTargetPredictor",
+    "ITTagePredictor",
+    "ReturnAddressStack",
+    "ShotgunBTB",
+    "TwoLevelBTB",
+    "DedupOnlyBTB",
+    "PDedeBTB",
+    "PDedeConfig",
+    "PDedeMode",
+    "paper_config",
+    "partition_only_config",
+    "CoreParams",
+    "FrontendSimulator",
+    "FrontendStats",
+    "ICELAKE",
+    "Trace",
+    "WorkloadSpec",
+    "build_suite",
+    "generate_trace",
+    "suite_traces",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Characterisation tooling: Section 3 analyses and Figure 1 Top-Down."""
+
+from repro.analysis.characterize import (
+    BranchTypeMix,
+    DensityStats,
+    DistanceStats,
+    RuntimeSeries,
+    TakenStats,
+    UniquenessStats,
+    aggregate_mean,
+    branch_type_mix,
+    density_stats,
+    distance_stats,
+    runtime_series,
+    taken_stats,
+    uniqueness_stats,
+)
+from repro.analysis.topdown import TopDownReport, TopDownRow, topdown_report, topdown_row
+from repro.analysis.validation import (
+    CALIBRATION_TARGETS,
+    CalibrationResult,
+    CalibrationTarget,
+    measure_calibration_values,
+    validate_suite,
+    validate_trace,
+)
+
+__all__ = [
+    "BranchTypeMix",
+    "DensityStats",
+    "DistanceStats",
+    "RuntimeSeries",
+    "TakenStats",
+    "UniquenessStats",
+    "aggregate_mean",
+    "branch_type_mix",
+    "density_stats",
+    "distance_stats",
+    "runtime_series",
+    "taken_stats",
+    "uniqueness_stats",
+    "TopDownReport",
+    "TopDownRow",
+    "topdown_report",
+    "topdown_row",
+    "CALIBRATION_TARGETS",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "measure_calibration_values",
+    "validate_suite",
+    "validate_trace",
+]

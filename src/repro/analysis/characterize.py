@@ -1,0 +1,242 @@
+"""Section 3 characterisation: the analyses behind Figures 3-8.
+
+Each function consumes one or more traces and returns plain dataclasses
+so the experiment runners and tests can assert on them directly.
+Returns are excluded from the target-uniqueness analyses: they never
+consume BTB entries (Section 2), so including their (per-call-site)
+return addresses would distort the dedup statistics the BTB cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.branch.address import (
+    page_distance,
+    page_number,
+    page_offset,
+    region_id,
+    same_page,
+)
+from repro.branch.types import BranchKind
+from repro.workloads.trace import Trace
+
+_RETURN = int(BranchKind.RETURN)
+
+
+@dataclass
+class TakenStats:
+    """Figure 3: taken fractions, static and dynamic."""
+
+    name: str
+    static_taken_fraction: float
+    dynamic_taken_fraction: float
+
+
+def taken_stats(trace: Trace) -> TakenStats:
+    """Fraction of static branch PCs / dynamic instances that are taken."""
+    return TakenStats(
+        name=trace.name,
+        static_taken_fraction=trace.static_taken_fraction(),
+        dynamic_taken_fraction=trace.dynamic_taken_fraction(),
+    )
+
+
+@dataclass
+class BranchTypeMix:
+    """Figure 4: share of each branch kind among taken branches."""
+
+    name: str
+    fractions: dict[str, float] = field(default_factory=dict)
+
+
+def branch_type_mix(trace: Trace, include_returns: bool = False) -> BranchTypeMix:
+    """Taken-branch kind distribution (Figure 4).
+
+    Returns are excluded by default -- they are served by the RAS, and
+    Figure 4 classifies the BTB-relevant branch types.
+    """
+    counts: dict[int, int] = {}
+    total = 0
+    for pc, kind, taken, target, gap in trace.events():
+        if not taken:
+            continue
+        if kind == _RETURN and not include_returns:
+            continue
+        counts[kind] = counts.get(kind, 0) + 1
+        total += 1
+    fractions = {
+        BranchKind(kind).name: count / total for kind, count in sorted(counts.items())
+    }
+    return BranchTypeMix(name=trace.name, fractions=fractions)
+
+
+@dataclass
+class UniquenessStats:
+    """Figure 7: unique targets / regions / pages / offsets vs unique PCs."""
+
+    name: str
+    unique_pcs: int
+    unique_targets: int
+    unique_regions: int
+    unique_pages: int
+    unique_offsets: int
+
+    @property
+    def target_fraction(self) -> float:
+        return self.unique_targets / self.unique_pcs if self.unique_pcs else 0.0
+
+    @property
+    def region_fraction(self) -> float:
+        return self.unique_regions / self.unique_pcs if self.unique_pcs else 0.0
+
+    @property
+    def page_fraction(self) -> float:
+        return self.unique_pages / self.unique_pcs if self.unique_pcs else 0.0
+
+    @property
+    def offset_fraction(self) -> float:
+        return self.unique_offsets / self.unique_pcs if self.unique_pcs else 0.0
+
+
+def uniqueness_stats(trace: Trace) -> UniquenessStats:
+    """Count unique branch PCs and unique target components (Figure 7)."""
+    pcs: set[int] = set()
+    targets: set[int] = set()
+    for pc, kind, taken, target, gap in trace.events():
+        if not taken or kind == _RETURN:
+            continue
+        pcs.add(pc)
+        targets.add(target)
+    return UniquenessStats(
+        name=trace.name,
+        unique_pcs=len(pcs),
+        unique_targets=len(targets),
+        unique_regions=len({region_id(t) for t in targets}),
+        unique_pages=len({page_number(t) for t in targets}),
+        unique_offsets=len({page_offset(t) for t in targets}),
+    )
+
+
+@dataclass
+class DensityStats:
+    """Figure 6: average branch targets per page and per region."""
+
+    name: str
+    targets_per_page: float
+    targets_per_region: float
+
+
+def density_stats(trace: Trace) -> DensityStats:
+    """Unique targets divided by unique pages / regions (Figure 6)."""
+    stats = uniqueness_stats(trace)
+    return DensityStats(
+        name=trace.name,
+        targets_per_page=(
+            stats.unique_targets / stats.unique_pages if stats.unique_pages else 0.0
+        ),
+        targets_per_region=(
+            stats.unique_targets / stats.unique_regions if stats.unique_regions else 0.0
+        ),
+    )
+
+
+@dataclass
+class DistanceStats:
+    """Figure 8: distance in pages between branch PC and target."""
+
+    name: str
+    same_page_fraction: float
+    #: Histogram over |page distance| buckets, as fractions.
+    buckets: dict[str, float] = field(default_factory=dict)
+    #: Same-page fraction per branch kind name.
+    by_kind: dict[str, float] = field(default_factory=dict)
+
+_DISTANCE_BUCKETS = (
+    ("same page", 0),
+    ("<= 16 pages", 16),
+    ("<= 256 pages", 256),
+    ("<= 65536 pages", 65536),
+    ("> 65536 pages", None),
+)
+
+
+def distance_stats(trace: Trace) -> DistanceStats:
+    """Branch-PC-to-target page distance distribution (Figure 8)."""
+    counts = {label: 0 for label, _ in _DISTANCE_BUCKETS}
+    kind_total: dict[int, int] = {}
+    kind_same: dict[int, int] = {}
+    total = 0
+    for pc, kind, taken, target, gap in trace.events():
+        if not taken or kind == _RETURN:
+            continue
+        total += 1
+        distance = abs(page_distance(pc, target))
+        for label, bound in _DISTANCE_BUCKETS:
+            if bound is None or distance <= bound:
+                counts[label] += 1
+                break
+        kind_total[kind] = kind_total.get(kind, 0) + 1
+        if distance == 0:
+            kind_same[kind] = kind_same.get(kind, 0) + 1
+    if total == 0:
+        return DistanceStats(name=trace.name, same_page_fraction=0.0)
+    return DistanceStats(
+        name=trace.name,
+        same_page_fraction=counts["same page"] / total,
+        buckets={label: count / total for label, count in counts.items()},
+        by_kind={
+            BranchKind(kind).name: kind_same.get(kind, 0) / kind_total[kind]
+            for kind in sorted(kind_total)
+        },
+    )
+
+
+@dataclass
+class RuntimeSeries:
+    """Figure 5: region / page / offset of each taken target over time."""
+
+    name: str
+    sample_indices: list[int]
+    regions: list[int]
+    pages: list[int]
+    offsets: list[int]
+
+    def distinct_regions(self) -> int:
+        return len(set(self.regions))
+
+    def distinct_pages(self) -> int:
+        return len(set(self.pages))
+
+
+def runtime_series(trace: Trace, max_samples: int = 4096) -> RuntimeSeries:
+    """Sampled time series of target components (Figure 5's three plots)."""
+    taken_indices = [
+        index
+        for index, (pc, kind, taken, target, gap) in enumerate(trace.events())
+        if taken and kind != _RETURN
+    ]
+    stride = max(1, len(taken_indices) // max_samples)
+    sample_indices = taken_indices[::stride]
+    regions, pages, offsets = [], [], []
+    for index in sample_indices:
+        target = trace.targets[index]
+        regions.append(region_id(target))
+        pages.append(page_number(target))
+        offsets.append(page_offset(target))
+    return RuntimeSeries(
+        name=trace.name,
+        sample_indices=sample_indices,
+        regions=regions,
+        pages=pages,
+        offsets=offsets,
+    )
+
+
+def aggregate_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean helper used by the suite-level summaries."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,76 @@
+"""Top-Down stall breakdown (Figure 1).
+
+Figure 1 motivates the paper: across 100+ frontend-bound applications,
+BTB-induced resteers are the largest contributor to frontend stalls
+(>40% of frontend stall cycles).  Our frontend model already buckets
+cycles the Top-Down way (Yasin, ISPASS 2014); this module runs the
+baseline configuration over a suite and aggregates the shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.btb.baseline import BaselineBTB
+from repro.frontend.params import CoreParams, ICELAKE
+from repro.frontend.simulator import FrontendSimulator
+from repro.frontend.stats import FrontendStats
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class TopDownRow:
+    """Per-application Top-Down summary."""
+
+    name: str
+    category: str
+    retiring_fraction: float
+    frontend_bound_fraction: float
+    bad_speculation_fraction: float
+    btb_resteer_share_of_frontend: float
+
+
+@dataclass
+class TopDownReport:
+    """Suite-level Figure 1 data."""
+
+    rows: list[TopDownRow] = field(default_factory=list)
+
+    @property
+    def mean_frontend_bound(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.frontend_bound_fraction for row in self.rows) / len(self.rows)
+
+    @property
+    def mean_btb_resteer_share(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.btb_resteer_share_of_frontend for row in self.rows) / len(self.rows)
+
+
+def topdown_row(trace: Trace, stats: FrontendStats, category: str = "") -> TopDownRow:
+    """Convert a finished simulation into a Figure 1 row."""
+    total = stats.cycles or 1.0
+    return TopDownRow(
+        name=trace.name,
+        category=category or trace.category,
+        retiring_fraction=stats.base_cycles / total,
+        frontend_bound_fraction=stats.frontend_bound_fraction,
+        bad_speculation_fraction=stats.bad_speculation_fraction,
+        btb_resteer_share_of_frontend=stats.btb_resteer_share_of_frontend,
+    )
+
+
+def topdown_report(
+    traces: list[Trace],
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.25,
+) -> TopDownReport:
+    """Run the baseline core over ``traces`` and collect Figure 1 data."""
+    report = TopDownReport()
+    for trace in traces:
+        simulator = FrontendSimulator(BaselineBTB(), params=params)
+        stats = simulator.run(trace, warmup_fraction=warmup_fraction)
+        report.rows.append(topdown_row(trace, stats))
+    return report

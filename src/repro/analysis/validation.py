@@ -1,0 +1,137 @@
+"""Calibration scorecard: trace statistics vs the paper's published values.
+
+The synthetic workloads stand in for the paper's anonymised traces, so
+their *statistics* must be defensible.  This module formalises every
+number Section 3 publishes as a target range and scores a trace (or a
+suite) against them.  Tests pin the suite to the scorecard, and the
+``validate`` CLI/REPL helper prints it for any custom workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.characterize import (
+    distance_stats,
+    density_stats,
+    taken_stats,
+    uniqueness_stats,
+)
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One published statistic and the band we accept for the synthetic."""
+
+    key: str
+    description: str
+    paper_value: float
+    low: float
+    high: float
+
+    def check(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+#: Section 3's published statistics, with acceptance bands.  Bands are
+#: deliberately wide where the paper itself reports per-app spread.
+CALIBRATION_TARGETS: tuple[CalibrationTarget, ...] = (
+    CalibrationTarget(
+        "static_taken", "static branch PCs ever taken (Fig 3)", 0.55, 0.50, 0.95
+    ),
+    CalibrationTarget(
+        "dynamic_taken", "dynamic branch instances taken (Fig 3)", 0.55, 0.50, 0.90
+    ),
+    CalibrationTarget(
+        "unique_targets", "unique targets / unique PCs (Fig 7)", 0.67, 0.50, 0.92
+    ),
+    CalibrationTarget(
+        "unique_regions", "unique regions / unique PCs (Fig 7)", 0.0007, 0.0, 0.01
+    ),
+    CalibrationTarget(
+        "unique_pages", "unique pages / unique PCs (Fig 7)", 0.05, 0.02, 0.12
+    ),
+    CalibrationTarget(
+        "unique_offsets", "unique offsets / unique PCs (Fig 7)", 0.18, 0.04, 0.40
+    ),
+    CalibrationTarget(
+        "targets_per_page", "branch targets per page (Fig 6)", 18.0, 5.0, 40.0
+    ),
+    CalibrationTarget(
+        "targets_per_region", "branch targets per region (Fig 6)", 2200.0, 150.0, 9000.0
+    ),
+    CalibrationTarget(
+        "same_page", "branches with target in own page (Fig 8)", 0.60, 0.45, 0.95
+    ),
+)
+
+
+@dataclass
+class CalibrationResult:
+    """Scorecard of one trace against every calibration target."""
+
+    name: str
+    values: dict[str, float] = field(default_factory=dict)
+    passed: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(self.passed.values())
+
+    def failures(self) -> list[str]:
+        return [key for key, ok in self.passed.items() if not ok]
+
+    def render(self) -> str:
+        lines = [f"calibration scorecard: {self.name}"]
+        for target in CALIBRATION_TARGETS:
+            value = self.values[target.key]
+            status = "ok " if self.passed[target.key] else "FAIL"
+            lines.append(
+                f"  [{status}] {target.key:18s} {value:10.4f}  "
+                f"(paper ~{target.paper_value}, band {target.low}..{target.high})"
+            )
+        return "\n".join(lines)
+
+
+def measure_calibration_values(trace: Trace) -> dict[str, float]:
+    """Compute every calibration statistic for one trace."""
+    taken = taken_stats(trace)
+    unique = uniqueness_stats(trace)
+    density = density_stats(trace)
+    distance = distance_stats(trace)
+    return {
+        "static_taken": taken.static_taken_fraction,
+        "dynamic_taken": taken.dynamic_taken_fraction,
+        "unique_targets": unique.target_fraction,
+        "unique_regions": unique.region_fraction,
+        "unique_pages": unique.page_fraction,
+        "unique_offsets": unique.offset_fraction,
+        "targets_per_page": density.targets_per_page,
+        "targets_per_region": density.targets_per_region,
+        "same_page": distance.same_page_fraction,
+    }
+
+
+def validate_trace(trace: Trace) -> CalibrationResult:
+    """Score one trace against every published target."""
+    values = measure_calibration_values(trace)
+    result = CalibrationResult(name=trace.name, values=values)
+    for target in CALIBRATION_TARGETS:
+        result.passed[target.key] = target.check(values[target.key])
+    return result
+
+
+def validate_suite(traces: list[Trace]) -> CalibrationResult:
+    """Score the suite-mean statistics (what the paper's figures report)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    sums: dict[str, float] = {}
+    for trace in traces:
+        for key, value in measure_calibration_values(trace).items():
+            sums[key] = sums.get(key, 0.0) + value
+    means = {key: value / len(traces) for key, value in sums.items()}
+    result = CalibrationResult(name=f"suite mean ({len(traces)} apps)", values=means)
+    for target in CALIBRATION_TARGETS:
+        result.passed[target.key] = target.check(means[target.key])
+    return result

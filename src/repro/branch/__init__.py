@@ -1,0 +1,63 @@
+"""Branch and virtual-address model shared by every BTB design.
+
+This package defines the 57-bit virtual-address arithmetic used by PDede
+(region / page / page-offset partitioning), the branch taxonomy of the
+paper (Section 2), and the ``BranchEvent`` record that traces are made of.
+"""
+
+from repro.branch.address import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    OFFSET_BITS,
+    PAGE_BITS,
+    PAGE_IN_REGION_BITS,
+    REGION_BITS,
+    REGION_SPAN_PAGES,
+    join_target,
+    page_base,
+    page_distance,
+    page_in_region,
+    page_number,
+    page_offset,
+    region_id,
+    same_page,
+    split_target,
+)
+from repro.branch.types import BranchEvent, BranchKind
+from repro.branch.direction import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    DirectionPredictor,
+    GSharePredictor,
+    PerfectDirectionPredictor,
+    TageLitePredictor,
+    make_direction_predictor,
+)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "OFFSET_BITS",
+    "PAGE_BITS",
+    "PAGE_IN_REGION_BITS",
+    "REGION_BITS",
+    "REGION_SPAN_PAGES",
+    "join_target",
+    "page_base",
+    "page_distance",
+    "page_in_region",
+    "page_number",
+    "page_offset",
+    "region_id",
+    "same_page",
+    "split_target",
+    "BranchEvent",
+    "BranchKind",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "DirectionPredictor",
+    "GSharePredictor",
+    "PerfectDirectionPredictor",
+    "TageLitePredictor",
+    "make_direction_predictor",
+]

@@ -1,0 +1,286 @@
+"""Branch direction predictors.
+
+The BTB answers *where* a taken branch goes; these predictors answer
+*whether* a conditional branch is taken.  The paper's core uses a
+state-of-the-art direction predictor (Table 3) and Section 5.5 evaluates
+PDede under a *perfect* direction predictor; we provide a ladder of
+predictors so both the default and the perfect configuration can be run,
+plus cheaper ones for sensitivity studies.
+
+All predictors share one small interface: ``predict(pc)`` returns the
+predicted direction, ``update(pc, taken)`` trains with the real outcome.
+A predictor with ``is_perfect`` set is treated as oracle by the frontend
+model (no direction mispredict penalty is ever charged).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.branch.address import fold_bits, mix64
+
+
+class DirectionPredictor(abc.ABC):
+    """Interface for conditional-branch direction predictors."""
+
+    #: Oracles set this; the frontend then never charges a mispredict.
+    is_perfect: bool = False
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome of the branch at ``pc``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def storage_bits(self) -> int:
+        """Storage footprint of the predictor state, in bits."""
+        return 0
+
+
+class AlwaysTakenPredictor(DirectionPredictor):
+    """Degenerate static predictor; useful as a worst-case baseline."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class PerfectDirectionPredictor(DirectionPredictor):
+    """Oracle predictor for the Section 5.5 study.
+
+    ``predict`` still returns a value (taken) so that the object can be
+    used interchangeably, but the frontend model consults ``is_perfect``
+    and substitutes the actual outcome.
+    """
+
+    is_perfect = True
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic per-PC table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._entries = entries
+        self._mask = entries - 1
+        self._table = [2] * entries  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._table[(pc >> 1) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = (pc >> 1) & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+    def storage_bits(self) -> int:
+        return 2 * self._entries
+
+
+class GSharePredictor(DirectionPredictor):
+    """Global-history XOR predictor (McFarling gshare)."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._entries = entries
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 1) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def storage_bits(self) -> int:
+        return 2 * self._entries
+
+
+class _TageComponent:
+    """One tagged table of a TAGE predictor."""
+
+    __slots__ = (
+        "entries", "mask", "tag_bits", "tag_mask", "history_length",
+        "history_mask", "tags", "counters", "useful",
+        "cached_mix", "cached_version",
+    )
+
+    def __init__(self, entries: int, tag_bits: int, history_length: int) -> None:
+        self.entries = entries
+        self.mask = entries - 1
+        self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
+        self.history_length = history_length
+        self.history_mask = (1 << history_length) - 1
+        self.tags = [0] * entries
+        self.counters = [0] * entries  # signed 3-bit: -4..3
+        self.useful = [0] * entries
+        # The history mix only changes when the history does; cache it.
+        self.cached_mix = 0
+        self.cached_version = -1
+
+
+class TageLitePredictor(DirectionPredictor):
+    """A compact TAGE: bimodal base + tagged tables with geometric history.
+
+    This is not a contest-grade TAGE-SC-L, but it captures the behaviour
+    that matters here -- long-history correlation on the hard branches --
+    at a fidelity adequate for a frontend study whose subject is the BTB.
+    """
+
+    def __init__(
+        self,
+        base_entries: int = 8192,
+        table_entries: int = 2048,
+        tag_bits: int = 9,
+        history_lengths: tuple[int, ...] = (5, 15, 44, 130),
+    ) -> None:
+        self._base = BimodalPredictor(base_entries)
+        self._components = [
+            _TageComponent(table_entries, tag_bits, length) for length in history_lengths
+        ]
+        self._history = 0  # masked per component
+        self._history_version = 0
+        self._rng_state = 0x9E3779B97F4A7C15
+
+    # -- internal helpers -------------------------------------------------
+
+    def _next_random(self) -> int:
+        """xorshift64 -- deterministic tie-breaking for allocation."""
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rng_state = x
+        return x
+
+    def _component_key(self, component: _TageComponent, pc: int) -> tuple[int, int]:
+        """(index, tag) of ``pc`` in ``component`` -- constant-time mix."""
+        if component.cached_version != self._history_version:
+            component.cached_mix = mix64(
+                (self._history & component.history_mask)
+                ^ (component.history_length * 0x9E3779B97F4A7C15)
+            )
+            component.cached_version = self._history_version
+        mixed = component.cached_mix
+        index = ((pc >> 1) ^ mixed) & component.mask
+        tag = ((pc >> 1) ^ (mixed >> 24)) & component.tag_mask
+        return index, tag
+
+    def _provider(self, pc: int) -> tuple[int, int] | None:
+        """Longest-history component hitting on ``pc`` -> (level, index)."""
+        for level in range(len(self._components) - 1, -1, -1):
+            component = self._components[level]
+            index, tag = self._component_key(component, pc)
+            if component.tags[index] == tag:
+                return level, index
+        return None
+
+    # -- DirectionPredictor API -------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        provider = self._provider(pc)
+        if provider is None:
+            return self._base.predict(pc)
+        level, index = provider
+        return self._components[level].counters[index] >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        provider = self._provider(pc)
+        if provider is not None:
+            level, index = provider
+            component = self._components[level]
+            predicted = component.counters[index] >= 0
+        else:
+            predicted = self._base.predict(pc)
+        if provider is not None:
+            counter = component.counters[index]
+            if taken:
+                component.counters[index] = min(3, counter + 1)
+            else:
+                component.counters[index] = max(-4, counter - 1)
+            if predicted == taken and component.useful[index] < 3:
+                component.useful[index] += 1
+        else:
+            self._base.update(pc, taken)
+        if predicted != taken:
+            self._allocate(pc, taken, provider)
+        self._history = ((self._history << 1) | int(taken)) & ((1 << 192) - 1)
+        self._history_version += 1
+
+    def _allocate(self, pc: int, taken: bool, provider: tuple[int, int] | None) -> None:
+        """On a mispredict, claim an entry in a longer-history table."""
+        start = 0 if provider is None else provider[0] + 1
+        for level in range(start, len(self._components)):
+            component = self._components[level]
+            index, tag = self._component_key(component, pc)
+            if component.useful[index] == 0:
+                component.tags[index] = tag
+                component.counters[index] = 0 if taken else -1
+                return
+            if self._next_random() & 1:
+                component.useful[index] -= 1
+
+    def storage_bits(self) -> int:
+        bits = self._base.storage_bits()
+        for component in self._components:
+            bits += component.entries * (component.tag_bits + 3 + 2)
+        return bits
+
+
+_PREDICTORS = {
+    "always_taken": AlwaysTakenPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "tage": TageLitePredictor,
+    "perfect": PerfectDirectionPredictor,
+}
+
+
+def make_direction_predictor(name: str, **kwargs) -> DirectionPredictor:
+    """Build a direction predictor by name.
+
+    Args:
+        name: one of ``always_taken``, ``bimodal``, ``gshare``, ``tage``,
+            ``perfect``.
+        **kwargs: forwarded to the predictor constructor.
+    """
+    try:
+        factory = _PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown direction predictor {name!r}; options: {sorted(_PREDICTORS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,137 @@
+"""Common interface and statistics for all branch-target predictors.
+
+A BTB model exposes two operations mirroring the hardware (Section 4.4):
+
+* ``lookup(pc)`` -- performed at fetch, returns the predicted target (or
+  a miss) and the access latency in cycles.
+* ``update(event)`` -- performed when the branch resolves (decode for
+  direct, execute for indirect), trains / allocates entries.
+
+A *BTB miss* follows the paper's definition (Section 5.1): the branch PC
+has no valid entry, **or** it has one with the wrong target.  Misses are
+counted against taken branches only, because not-taken fall-through
+addresses are computed trivially.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.branch.types import BranchEvent
+
+
+@dataclass(slots=True)
+class BTBLookup:
+    """Result of one BTB lookup.
+
+    Attributes:
+        hit: whether a valid entry matched the branch PC.
+        target: predicted target address (None on miss, unless a
+            speculative provider such as PDede's Next Target Offset
+            register supplies one).
+        latency: access latency in cycles (baseline: 1; PDede charges 2
+            when the Region/Page-BTB pointer chase is needed).
+        provider: short label naming the structure that produced the
+            prediction, for diagnostics ("btb", "btbm-delta", ...).
+    """
+
+    hit: bool
+    target: int | None = None
+    latency: int = 1
+    provider: str = "btb"
+
+
+@dataclass(slots=True)
+class BTBStats:
+    """Aggregate counters maintained by every predictor.
+
+    ``misses`` uses the paper's definition (no entry *or* wrong target,
+    on taken branches).  ``wrong_target`` counts the subset of misses
+    where an entry existed but predicted the wrong address.
+    """
+
+    lookups: int = 0
+    taken_lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    wrong_target: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    updates: int = 0
+    misses_by_kind: dict = field(default_factory=dict)
+
+    def record_outcome(self, event: BranchEvent, lookup: BTBLookup) -> bool:
+        """Score ``lookup`` against the resolved ``event``.
+
+        Returns True when the lookup counts as a BTB miss.  Only taken
+        branches are scored, mirroring Section 5.1.
+        """
+        self.lookups += 1
+        if not event.taken:
+            return False
+        self.taken_lookups += 1
+        if lookup.target == event.target:
+            self.hits += 1
+            return False
+        self.misses += 1
+        if lookup.hit:
+            self.wrong_target += 1
+        kind_name = event.kind.name
+        self.misses_by_kind[kind_name] = self.misses_by_kind.get(kind_name, 0) + 1
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over taken-branch lookups."""
+        if self.taken_lookups == 0:
+            return 0.0
+        return self.misses / self.taken_lookups
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given the retired-instruction count."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+
+class BranchTargetPredictor(abc.ABC):
+    """Abstract base class for every BTB design in this library."""
+
+    def __init__(self) -> None:
+        self.stats = BTBStats()
+
+    @abc.abstractmethod
+    def lookup(self, pc: int) -> BTBLookup:
+        """Predict the target of the branch at ``pc`` (fetch time)."""
+
+    @abc.abstractmethod
+    def update(self, event: BranchEvent) -> None:
+        """Train with the resolved branch ``event``."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total SRAM bits of the design (tags + data + metadata)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def storage_kib(self) -> float:
+        """Storage footprint in KiB."""
+        return self.storage_bits() / 8192.0
+
+    def reset_stats(self) -> None:
+        self.stats = BTBStats()
+
+    def observe(self, event: BranchEvent) -> tuple[BTBLookup, bool]:
+        """Convenience: lookup, score, and update in trace order.
+
+        Returns the lookup result and whether it was a BTB miss.  The
+        frontend simulator uses the lower-level calls directly; this
+        helper serves the characterisation tools and tests.
+        """
+        lookup = self.lookup(event.pc)
+        missed = self.stats.record_outcome(event, lookup)
+        self.update(event)
+        return lookup, missed

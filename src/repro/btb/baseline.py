@@ -1,0 +1,176 @@
+"""The conventional set-associative BTB the paper compares against.
+
+Section 2 / Figure 2: an 8-way, 4096-entry BTB.  Each entry stores a
+1-bit process ID, a 12-bit partial tag (hashed, so aliasing forces a
+resteer but never breaks correctness), the full 57-bit target, 3 SRRIP
+bits and a 2-bit confidence counter -- 75 bits per entry, 37.5 KiB total.
+
+Confidence counters arbitrate target replacement for branches (mostly
+indirect ones) whose target changes: a mispredicted target first drains
+confidence before the stored target is overwritten.
+"""
+
+from __future__ import annotations
+
+from repro.branch.address import ADDRESS_BITS, hash_pc
+from repro.branch.types import BranchEvent
+from repro.btb.base import BTBLookup, BranchTargetPredictor
+from repro.btb.replacement import make_replacement_policy
+
+
+class BaselineBTB(BranchTargetPredictor):
+    """Set-associative BTB with partial tags and confidence counters.
+
+    Args:
+        entries: total entry count (power of two).
+        ways: set associativity.
+        tag_bits: width of the hashed partial tag.
+        target_bits: stored target width (57 for 5-level paging).
+        conf_bits: confidence-counter width.
+        replacement: replacement policy name (``srrip`` by default).
+        srrip_bits: RRPV width when SRRIP is selected.
+        pid_bits: process-ID bits per entry.
+        latency: lookup latency in cycles.
+        store_kinds: when False, ``update`` ignores indirect branches
+            (Section 5.6 runs with indirects served by ITTAGE instead).
+    """
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        ways: int = 8,
+        tag_bits: int = 12,
+        target_bits: int = ADDRESS_BITS,
+        conf_bits: int = 2,
+        replacement: str = "srrip",
+        srrip_bits: int = 3,
+        pid_bits: int = 1,
+        latency: int = 1,
+        allocate_indirect: bool = True,
+    ) -> None:
+        super().__init__()
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if entries % ways:
+            raise ValueError("entries must be divisible by ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        self.tag_bits = tag_bits
+        self.target_bits = target_bits
+        self.conf_bits = conf_bits
+        self._conf_max = (1 << conf_bits) - 1
+        self.srrip_bits = srrip_bits
+        self.pid_bits = pid_bits
+        self.latency = latency
+        self.allocate_indirect = allocate_indirect
+        self._sets_pow2 = self.sets & (self.sets - 1) == 0
+        self._index_mask = self.sets - 1
+        self.replacement_name = replacement
+        repl_kwargs = {"m": srrip_bits} if replacement == "srrip" else {}
+        self._policies = [
+            make_replacement_policy(replacement, ways, **repl_kwargs)
+            for _ in range(self.sets)
+        ]
+        self._valid = [[False] * ways for _ in range(self.sets)]
+        self._tags = [[0] * ways for _ in range(self.sets)]
+        self._targets = [[0] * ways for _ in range(self.sets)]
+        self._conf = [[0] * ways for _ in range(self.sets)]
+
+    # -- address mapping ---------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        # Index and tag come from disjoint ranges of an avalanche hash,
+        # so structured code addresses do not alias systematically.
+        hashed = hash_pc(pc)
+        if self._sets_pow2:
+            return hashed & self._index_mask
+        return hashed % self.sets
+
+    def _tag(self, pc: int) -> int:
+        return (hash_pc(pc) >> 40) & ((1 << self.tag_bits) - 1)
+
+    def _slot(self, pc: int) -> tuple[int, int]:
+        """(set index, tag) from a single hash (hot path)."""
+        hashed = hash_pc(pc)
+        index = hashed & self._index_mask if self._sets_pow2 else hashed % self.sets
+        return index, (hashed >> 40) & ((1 << self.tag_bits) - 1)
+
+    def _find_way(self, index: int, tag: int) -> int | None:
+        valid = self._valid[index]
+        tags = self._tags[index]
+        for way in range(self.ways):
+            if valid[way] and tags[way] == tag:
+                return way
+        return None
+
+    # -- BranchTargetPredictor API ------------------------------------------
+
+    def lookup(self, pc: int) -> BTBLookup:
+        index, tag = self._slot(pc)
+        way = self._find_way(index, tag)
+        if way is None:
+            return BTBLookup(hit=False, target=None, latency=self.latency)
+        self._policies[index].on_hit(way)
+        return BTBLookup(
+            hit=True,
+            target=self._targets[index][way],
+            latency=self.latency,
+            provider="btb",
+        )
+
+    def update(self, event: BranchEvent) -> None:
+        self.stats.updates += 1
+        if not event.taken:
+            return
+        if event.kind.is_indirect and not self.allocate_indirect:
+            return
+        index, tag = self._slot(event.pc)
+        way = self._find_way(index, tag)
+        if way is not None:
+            self._train_existing(index, way, event.target)
+            return
+        self._allocate(index, tag, event.target)
+
+    def _train_existing(self, index: int, way: int, target: int) -> None:
+        conf = self._conf[index]
+        if self._targets[index][way] == target:
+            if conf[way] < self._conf_max:
+                conf[way] += 1
+        elif conf[way] > 0:
+            # Keep the incumbent target until confidence drains.
+            conf[way] -= 1
+        else:
+            self._targets[index][way] = target
+        self._policies[index].on_hit(way)
+
+    def _allocate(self, index: int, tag: int, target: int) -> None:
+        policy = self._policies[index]
+        way = policy.victim(self._valid[index])
+        if self._valid[index][way]:
+            self.stats.evictions += 1
+        self._valid[index][way] = True
+        self._tags[index][way] = tag
+        self._targets[index][way] = target
+        self._conf[index][way] = 0
+        policy.on_insert(way)
+        self.stats.allocations += 1
+
+    def storage_bits(self) -> int:
+        per_entry = (
+            self.pid_bits
+            + self.tag_bits
+            + self.target_bits
+            + self.conf_bits
+            + self._policies[0].metadata_bits_per_entry()
+        )
+        return self.entries * per_entry
+
+    # -- introspection helpers (tests, characterisation) --------------------
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently stored."""
+        return sum(sum(valid) for valid in self._valid)
+
+    def contains(self, pc: int) -> bool:
+        return self._find_way(self._index(pc), self._tag(pc)) is not None

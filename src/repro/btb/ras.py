@@ -1,0 +1,66 @@
+"""Return address stack (RAS).
+
+Returns are the one control-flow-changing instruction class that does not
+consume BTB entries (Section 2): calls push their fall-through address
+and returns pop it with near-perfect accuracy.  Section 5.7 evaluates the
+alternative of storing return targets in the BTB instead; the frontend
+simulator switches between the two via ``returns_use_ras``.
+
+The model is a circular buffer: overflow silently overwrites the oldest
+entry (so deep recursion degrades accuracy, as in hardware), underflow
+returns a miss.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Bounded call/return stack with wrap-around overwrite semantics."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._buffer: list[int] = [0] * depth
+        self._top = 0  # index of the next free slot
+        self._size = 0
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the fall-through address of a call."""
+        if self._size == self.depth:
+            self.overflows += 1
+        else:
+            self._size += 1
+        self._buffer[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predict the target of a return; None when the stack is empty."""
+        self.pops += 1
+        if self._size == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._size -= 1
+        return self._buffer[self._top]
+
+    def peek(self) -> int | None:
+        """Top of stack without popping (speculation repair helper)."""
+        if self._size == 0:
+            return None
+        return self._buffer[(self._top - 1) % self.depth]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def clear(self) -> None:
+        self._top = 0
+        self._size = 0
+
+    def storage_bits(self, address_bits: int = 57) -> int:
+        return self.depth * address_bits

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-apps``     -- list the workload suite at a scale.
+* ``characterize``  -- Section 3 analyses for one application.
+* ``simulate``      -- run one (application, design) pair, print metrics.
+* ``experiment``    -- run a paper figure/table by id and print its rows.
+* ``report``        -- run the whole evaluation, emit a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import PDedeMode
+from repro.experiments import (
+    baseline_design,
+    dedup_only_design,
+    partition_only_design,
+    pdede_design,
+    run_design,
+    shotgun_design,
+)
+from repro.workloads.suite import SCALES, build_suite
+
+
+def _design_registry() -> dict:
+    return {
+        "baseline": baseline_design(),
+        "baseline-6144": baseline_design(entries=6144, key="baseline-6144"),
+        "baseline-8192": baseline_design(entries=8192),
+        "pdede-default": pdede_design(PDedeMode.DEFAULT),
+        "pdede-multi-target": pdede_design(PDedeMode.MULTI_TARGET),
+        "pdede-multi-entry": pdede_design(PDedeMode.MULTI_ENTRY),
+        "dedup-only": dedup_only_design(),
+        "partition-only": partition_only_design(),
+        "shotgun": shotgun_design(),
+    }
+
+
+def _experiment_registry() -> dict:
+    from repro.experiments import (
+        run_fig1, run_fig3, run_fig4, run_fig5, run_fig6, run_fig7, run_fig8,
+        run_fig10, run_fig11a, run_fig11b, run_fig11c,
+        run_fig12a, run_fig12b, run_fig12c,
+        run_future_pipelines, run_ghrp_combination, run_ittage,
+        run_multiprogramming, run_multitag_alternative,
+        run_next_target_tag_extension, run_perfect_direction,
+        run_prefetch_complement, run_replacement_ablation,
+        run_returns_in_btb, run_stale_pointer_ablation,
+        run_tag_width_ablation, run_table2, run_table4,
+    )
+
+    return {
+        "fig1": run_fig1, "fig3": run_fig3, "fig4": run_fig4, "fig5": run_fig5,
+        "fig6": run_fig6, "fig7": run_fig7, "fig8": run_fig8,
+        "fig10": run_fig10, "fig11a": run_fig11a, "fig11b": run_fig11b,
+        "fig11c": run_fig11c, "fig12a": run_fig12a, "fig12b": run_fig12b,
+        "fig12c": run_fig12c,
+        "s5.5": run_perfect_direction, "s5.6": run_ittage,
+        "s5.7": run_returns_in_btb, "s5.11": run_future_pipelines,
+        "ablation-replacement": run_replacement_ablation,
+        "ablation-stale": run_stale_pointer_ablation,
+        "ablation-tags": run_tag_width_ablation,
+        "alt-multitag": run_multitag_alternative,
+        "ext-next-tag": run_next_target_tag_extension,
+        "ext-prefetch": run_prefetch_complement,
+        "ext-ghrp": run_ghrp_combination,
+        "ext-multiprog": run_multiprogramming,
+        "tab2": lambda scale=None: run_table2(),
+        "tab4": lambda scale=None: run_table4(),
+    }
+
+
+def cmd_list_apps(args: argparse.Namespace) -> int:
+    for spec in build_suite(args.scale):
+        print(f"{spec.name:32s} {spec.category:10s} seed={spec.seed} "
+              f"functions={spec.n_functions} hot={spec.hot_functions_per_phase}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        branch_type_mix, density_stats, distance_stats, taken_stats,
+        uniqueness_stats,
+    )
+    from repro.workloads.suite import get_trace
+
+    trace = get_trace(args.app, args.scale)
+    taken = taken_stats(trace)
+    unique = uniqueness_stats(trace)
+    density = density_stats(trace)
+    distance = distance_stats(trace)
+    mix = branch_type_mix(trace)
+    print(f"{trace.name} ({trace.category}): {len(trace):,} events, "
+          f"{trace.instruction_count:,} instructions")
+    print(f"taken: static {taken.static_taken_fraction:.1%}, "
+          f"dynamic {taken.dynamic_taken_fraction:.1%}")
+    print("mix: " + ", ".join(f"{k} {v:.1%}" for k, v in mix.fractions.items()))
+    print(f"unique: PCs {unique.unique_pcs}, targets {unique.target_fraction:.1%}, "
+          f"regions {unique.region_fraction:.2%}, pages {unique.page_fraction:.1%}")
+    print(f"density: {density.targets_per_page:.1f} targets/page, "
+          f"{density.targets_per_region:.0f} targets/region")
+    print(f"same-page: {distance.same_page_fraction:.1%}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    registry = _design_registry()
+    if args.design not in registry:
+        print(f"unknown design {args.design!r}; options: {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    design = registry[args.design]
+    stats = run_design(args.app, design, scale=args.scale,
+                       warmup_fraction=args.warmup)
+    btb, _ = design.build()
+    print(f"{args.app} x {design.key} (storage {btb.storage_kib():.1f} KiB)")
+    print(f"  IPC            : {stats.ipc:.3f}")
+    print(f"  BTB MPKI       : {stats.btb_mpki:.2f}")
+    print(f"  decode resteers: {stats.decode_resteers}")
+    print(f"  exec resteers  : {stats.execute_resteers}")
+    print(f"  frontend-bound : {stats.frontend_bound_fraction:.1%}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.id not in registry:
+        print(f"unknown experiment {args.id!r}; options: {sorted(registry)}",
+              file=sys.stderr)
+        return 2
+    result = registry[args.id](scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    def progress(experiment_id: str, seconds: float) -> None:
+        print(f"  [{seconds:6.1f}s] {experiment_id}", file=sys.stderr)
+
+    report = generate_report(scale=args.scale, progress=progress)
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDede (MICRO 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="suite scale (default: REPRO_SCALE env or 'default')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the workload suite")
+
+    characterize = sub.add_parser("characterize", help="Section 3 analyses for one app")
+    characterize.add_argument("app")
+
+    simulate = sub.add_parser("simulate", help="simulate one (app, design) pair")
+    simulate.add_argument("app")
+    simulate.add_argument("design")
+    simulate.add_argument("--warmup", type=float, default=0.3)
+
+    experiment = sub.add_parser("experiment", help="run a paper figure/table by id")
+    experiment.add_argument("id")
+
+    report = sub.add_parser("report", help="run the full evaluation matrix")
+    report.add_argument("--output", "-o", default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-apps": cmd_list_apps,
+    "characterize": cmd_characterize,
+    "simulate": cmd_simulate,
+    "experiment": cmd_experiment,
+    "report": cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""PDede: the paper's primary contribution.
+
+Public surface:
+
+* :class:`PDedeBTB` -- the partitioned, deduplicated, delta BTB.
+* :class:`PDedeConfig` / :class:`PDedeMode` / :func:`paper_config` --
+  geometry, feature knobs, and the iso-storage Table 2 configurations.
+* :class:`DedupOnlyBTB` / :func:`partition_only_config` -- the Figure 11a
+  ablation designs.
+"""
+
+from repro.core.config import PDedeConfig, PDedeMode, default_config, paper_config
+from repro.core.pdede import PDedeBTB
+from repro.core.ablations import DedupOnlyBTB, partition_only_config
+from repro.core.multitag import MultiTagPartitionedBTB
+from repro.core.tables import DedupValueTable
+
+__all__ = [
+    "PDedeBTB",
+    "PDedeConfig",
+    "PDedeMode",
+    "default_config",
+    "paper_config",
+    "DedupOnlyBTB",
+    "partition_only_config",
+    "MultiTagPartitionedBTB",
+    "DedupValueTable",
+]

@@ -1,0 +1,419 @@
+"""PDede: the Partitioned, Deduplicated, Delta BTB (Section 4).
+
+Structure (Figure 9A):
+
+* **BTB-Monitor (BTBM)** -- set-associative, indexed and tagged by the
+  branch PC.  Each entry carries the 12-bit target page offset directly
+  (offsets are dense and do not deduplicate), a delta bit, and pointers
+  into the Page-/Region-BTBs for different-page branches.
+* **Page-BTB / Region-BTB** -- tagless dedup tables storing each distinct
+  target page / region exactly once (:mod:`repro.core.tables`).
+
+Lookup (Section 4.4.1): index+tag-match the BTBM.  With the delta bit
+set the target is the branch PC's own page concatenated with the stored
+offset -- one cycle.  Otherwise the page and region pointers are chased
+(Region-BTB reads in parallel with the Page-BTB once the pointer is
+known), costing one extra cycle (Figure 9D).
+
+The two storage-recycling designs of Section 4.3.1 are selected by
+:class:`~repro.core.config.PDedeMode`:
+
+* ``MULTI_TARGET`` re-uses the pointer fields of same-page entries to
+  hold the *next taken branch's* target offset, staged through a global
+  Next Target Offset register at lookup time.
+* ``MULTI_ENTRY`` reserves half the ways of every set for short
+  (pointer-less, same-page-only) entries and doubles the entry count.
+"""
+
+from __future__ import annotations
+
+from repro.branch.address import (
+    REGION_BITS,
+    PAGE_IN_REGION_BITS,
+    fold_bits,
+    hash_pc,
+    join_target,
+    page_base,
+    page_in_region,
+    page_offset,
+    region_id,
+    same_page,
+)
+from repro.branch.types import BranchEvent
+from repro.btb.base import BTBLookup, BranchTargetPredictor
+from repro.btb.replacement import make_replacement_policy
+from repro.core.config import PDedeConfig, PDedeMode
+from repro.core.tables import DedupValueTable
+
+_NO_PTR = -1
+
+
+class PDedeBTB(BranchTargetPredictor):
+    """The PDede branch target buffer.
+
+    Args:
+        config: geometry and feature selection; see
+            :class:`~repro.core.config.PDedeConfig`.
+    """
+
+    def __init__(self, config: PDedeConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or PDedeConfig()
+        cfg = self.config
+        self._sets = cfg.btbm_sets
+        self._ways = cfg.btbm_ways
+        self._sets_pow2 = self._sets & (self._sets - 1) == 0
+        self._index_mask = self._sets - 1
+        self._conf_max = (1 << cfg.conf_bits) - 1
+        on_evict_page = self._invalidate_page_ptr if cfg.invalidate_stale_pointers else None
+        on_evict_region = (
+            self._invalidate_region_ptr if cfg.invalidate_stale_pointers else None
+        )
+        self.page_btb = DedupValueTable(
+            cfg.page_entries,
+            cfg.page_ways,
+            PAGE_IN_REGION_BITS,
+            replacement=cfg.replacement,
+            srrip_bits=cfg.srrip_bits,
+            name="page-btb",
+            on_evict=on_evict_page,
+        )
+        self.region_btb = DedupValueTable(
+            cfg.region_entries,
+            cfg.region_entries,  # fully associative
+            REGION_BITS,
+            replacement=cfg.replacement,
+            srrip_bits=cfg.srrip_bits,
+            name="region-btb",
+            on_evict=on_evict_region,
+        )
+        sets, ways = self._sets, self._ways
+        self._valid = [[False] * ways for _ in range(sets)]
+        self._tags = [[0] * ways for _ in range(sets)]
+        self._delta = [[False] * ways for _ in range(sets)]
+        self._offsets = [[0] * ways for _ in range(sets)]
+        self._page_ptr = [[_NO_PTR] * ways for _ in range(sets)]
+        self._region_ptr = [[_NO_PTR] * ways for _ in range(sets)]
+        self._page_gen = [[0] * ways for _ in range(sets)]
+        self._region_gen = [[0] * ways for _ in range(sets)]
+        self._conf = [[0] * ways for _ in range(sets)]
+        # Multi-target per-entry state (physically the re-used ptr fields).
+        self._next_valid = [[False] * ways for _ in range(sets)]
+        self._next_offset = [[0] * ways for _ in range(sets)]
+        # Future-work extension: small tag of the next PC (Section 4.3.1).
+        self._next_tag = [[0] * ways for _ in range(sets)]
+        repl_kwargs = {"m": cfg.srrip_bits} if cfg.replacement == "srrip" else {}
+        if cfg.mode is PDedeMode.MULTI_ENTRY:
+            half = ways // 2
+            self._long_ways = list(range(half))
+            self._short_ways = list(range(half, ways))
+            self._long_policies = [
+                make_replacement_policy(cfg.replacement, half, **repl_kwargs)
+                for _ in range(sets)
+            ]
+            self._short_policies = [
+                make_replacement_policy(cfg.replacement, half, **repl_kwargs)
+                for _ in range(sets)
+            ]
+            self._policies = None
+        else:
+            self._long_ways = list(range(ways))
+            self._short_ways = []
+            self._long_policies = self._short_policies = None
+            self._policies = [
+                make_replacement_policy(cfg.replacement, ways, **repl_kwargs)
+                for _ in range(sets)
+            ]
+        # Multi-target global registers (Section 4.3.1 / 4.4.2).
+        self._pending_next_offset: int | None = None
+        self._pending_next_tag: int = 0
+        self._last_btbm_slot: tuple[int, int] | None = None
+        # Reverse pointer maps, maintained only in invalidating mode.
+        self._page_ptr_users: dict[int, set[tuple[int, int]]] = {}
+        self._region_ptr_users: dict[int, set[tuple[int, int]]] = {}
+        # Extra observability.
+        self.stale_pointer_reads = 0
+        self.delta_hits = 0
+        self.pointer_hits = 0
+        self.next_target_provisions = 0
+        self.next_target_correct = 0
+
+    # -- address mapping -----------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        hashed = hash_pc(pc)
+        if self._sets_pow2:
+            return hashed & self._index_mask
+        return hashed % self._sets
+
+    def _tag(self, pc: int) -> int:
+        return (hash_pc(pc) >> 40) & ((1 << self.config.tag_bits) - 1)
+
+    def _slot(self, pc: int) -> tuple[int, int]:
+        """(set index, tag) from a single hash (hot path)."""
+        hashed = hash_pc(pc)
+        index = hashed & self._index_mask if self._sets_pow2 else hashed % self._sets
+        return index, (hashed >> 40) & ((1 << self.config.tag_bits) - 1)
+
+    def _find_way(self, set_index: int, tag: int) -> int | None:
+        valid = self._valid[set_index]
+        tags = self._tags[set_index]
+        for way in range(self._ways):
+            if valid[way] and tags[way] == tag:
+                return way
+        return None
+
+    # -- replacement plumbing ---------------------------------------------------
+
+    def _touch(self, set_index: int, way: int) -> None:
+        if self._policies is not None:
+            self._policies[set_index].on_hit(way)
+        elif way in self._short_ways:
+            self._short_policies[set_index].on_hit(way - self._short_ways[0])
+        else:
+            self._long_policies[set_index].on_hit(way)
+
+    def _choose_victim(self, set_index: int, needs_pointers: bool) -> int:
+        """Pick the way to (re)fill, honouring multi-entry way reservation."""
+        valid = self._valid[set_index]
+        if self._policies is not None:
+            return self._policies[set_index].victim(valid)
+        half = len(self._long_ways)
+        long_valid = valid[:half]
+        short_valid = valid[half:]
+        if needs_pointers:
+            # Different-page branches cannot use pointer-less short ways.
+            return self._long_policies[set_index].victim(long_valid)
+        # Same-page branches prefer the reserved short ways, then any
+        # invalid long way, then evict from the short half.
+        if not all(short_valid):
+            return half + self._short_policies[set_index].victim(short_valid)
+        if not all(long_valid):
+            return self._long_policies[set_index].victim(long_valid)
+        return half + self._short_policies[set_index].victim(short_valid)
+
+    def _mark_inserted(self, set_index: int, way: int) -> None:
+        if self._policies is not None:
+            self._policies[set_index].on_insert(way)
+        elif way in self._short_ways:
+            self._short_policies[set_index].on_insert(way - self._short_ways[0])
+        else:
+            self._long_policies[set_index].on_insert(way)
+
+    # -- stale-pointer invalidation (optional mode) --------------------------------
+
+    def _invalidate_page_ptr(self, pointer: int) -> None:
+        for set_index, way in self._page_ptr_users.pop(pointer, ()):  # pragma: no branch
+            self._valid[set_index][way] = False
+
+    def _invalidate_region_ptr(self, pointer: int) -> None:
+        for set_index, way in self._region_ptr_users.pop(pointer, ()):
+            self._valid[set_index][way] = False
+
+    def _unlink_pointers(self, set_index: int, way: int) -> None:
+        if not self.config.invalidate_stale_pointers:
+            return
+        slot = (set_index, way)
+        page_ptr = self._page_ptr[set_index][way]
+        if page_ptr != _NO_PTR:
+            self._page_ptr_users.get(page_ptr, set()).discard(slot)
+        region_ptr = self._region_ptr[set_index][way]
+        if region_ptr != _NO_PTR:
+            self._region_ptr_users.get(region_ptr, set()).discard(slot)
+
+    def _link_pointers(self, set_index: int, way: int) -> None:
+        if not self.config.invalidate_stale_pointers:
+            return
+        slot = (set_index, way)
+        page_ptr = self._page_ptr[set_index][way]
+        if page_ptr != _NO_PTR:
+            self._page_ptr_users.setdefault(page_ptr, set()).add(slot)
+        region_ptr = self._region_ptr[set_index][way]
+        if region_ptr != _NO_PTR:
+            self._region_ptr_users.setdefault(region_ptr, set()).add(slot)
+
+    # -- target reconstruction -----------------------------------------------------
+
+    def _reconstruct(self, set_index: int, way: int, pc: int) -> tuple[int, int]:
+        """Rebuild the predicted target of a valid entry.
+
+        Returns ``(target, latency)``.  Pointer-chasing entries cost the
+        extra cycle (Figure 9D) and count stale reads when the pointed-to
+        slot was re-allocated under them.
+        """
+        if self._delta[set_index][way]:
+            self.delta_hits += 1
+            return page_base(pc) | self._offsets[set_index][way], 1
+        page_ptr = self._page_ptr[set_index][way]
+        region_ptr = self._region_ptr[set_index][way]
+        if self.page_btb.is_stale(page_ptr, self._page_gen[set_index][way]) or (
+            self.region_btb.is_stale(region_ptr, self._region_gen[set_index][way])
+        ):
+            self.stale_pointer_reads += 1
+        page_value = self.page_btb.read(page_ptr)
+        region_value = self.region_btb.read(region_ptr)
+        self.page_btb.touch(page_ptr)
+        self.region_btb.touch(region_ptr)
+        self.pointer_hits += 1
+        target = join_target(region_value, page_value, self._offsets[set_index][way])
+        return target, 2
+
+    # -- lookup (Section 4.4.1) ------------------------------------------------------
+
+    def lookup(self, pc: int) -> BTBLookup:
+        pending = self._pending_next_offset
+        pending_tag = self._pending_next_tag
+        self._pending_next_offset = None
+        set_index, tag = self._slot(pc)
+        way = self._find_way(set_index, tag)
+        if way is None:
+            if pending is not None and (
+                not self.config.next_target_tag_bits
+                or pending_tag == fold_bits(pc >> 1, self.config.next_target_tag_bits)
+            ):
+                # BTBM miss served by the Next Target Offset register: the
+                # missing PC is the next taken branch after the entry that
+                # staged the register, so its target shares the PC's page.
+                self.next_target_provisions += 1
+                return BTBLookup(
+                    hit=False,
+                    target=page_base(pc) | pending,
+                    latency=2 if self.config.always_two_cycle else 1,
+                    provider="next-target",
+                )
+            return BTBLookup(hit=False, target=None, latency=1, provider="miss")
+        target, latency = self._reconstruct(set_index, way, pc)
+        if self.config.always_two_cycle:
+            latency = 2
+        if (
+            self.config.mode is PDedeMode.MULTI_TARGET
+            and self._delta[set_index][way]
+            and self._next_valid[set_index][way]
+        ):
+            self._pending_next_offset = self._next_offset[set_index][way]
+            self._pending_next_tag = self._next_tag[set_index][way]
+        self._touch(set_index, way)
+        provider = "btbm-delta" if self._delta[set_index][way] else "btbm-ptr"
+        return BTBLookup(hit=True, target=target, latency=latency, provider=provider)
+
+    # -- update / allocation (Section 4.4.2) ---------------------------------------
+
+    def update(self, event: BranchEvent) -> None:
+        self.stats.updates += 1
+        if not event.taken:
+            return
+        if event.kind.is_indirect and not self.config.allocate_indirect:
+            self._last_btbm_slot = None
+            return
+        pc, target = event.pc, event.target
+        is_same_page = same_page(pc, target)
+        use_delta = is_same_page and self.config.delta_encoding
+        set_index, tag = self._slot(pc)
+        way = self._find_way(set_index, tag)
+        if way is not None:
+            self._train_existing(set_index, way, pc, target, use_delta)
+        else:
+            way = self._allocate(set_index, tag, target, use_delta)
+        if self.config.mode is PDedeMode.MULTI_TARGET:
+            self._chain_next_target(set_index, way, pc, target, use_delta)
+
+    def _train_existing(
+        self, set_index: int, way: int, pc: int, target: int, use_delta: bool
+    ) -> None:
+        predicted, _ = self._reconstruct(set_index, way, pc)
+        conf = self._conf[set_index]
+        if predicted == target:
+            if conf[way] < self._conf_max:
+                conf[way] += 1
+        elif conf[way] > 0:
+            conf[way] -= 1
+        else:
+            self._write_target_fields(set_index, way, target, use_delta)
+        self._touch(set_index, way)
+
+    def _write_target_fields(
+        self, set_index: int, way: int, target: int, use_delta: bool
+    ) -> None:
+        """(Re)encode an entry's target, allocating table entries if needed."""
+        if not use_delta and way in self._short_ways:
+            # A short multi-entry way cannot hold pointers: the entry is
+            # abandoned and the branch re-allocates into a long way on its
+            # next update (hardware simply invalidates).
+            self._unlink_pointers(set_index, way)
+            self._valid[set_index][way] = False
+            return
+        self._unlink_pointers(set_index, way)
+        self._offsets[set_index][way] = page_offset(target)
+        self._delta[set_index][way] = use_delta
+        self._next_valid[set_index][way] = False
+        if use_delta:
+            self._page_ptr[set_index][way] = _NO_PTR
+            self._region_ptr[set_index][way] = _NO_PTR
+        else:
+            region_ptr, region_gen = self.region_btb.allocate(region_id(target))
+            page_ptr, page_gen = self.page_btb.allocate(page_in_region(target))
+            self._region_ptr[set_index][way] = region_ptr
+            self._region_gen[set_index][way] = region_gen
+            self._page_ptr[set_index][way] = page_ptr
+            self._page_gen[set_index][way] = page_gen
+            self._link_pointers(set_index, way)
+
+    def _allocate(self, set_index: int, tag: int, target: int, use_delta: bool) -> int:
+        # Region/Page-BTB allocations come first: a BTBM entry is created
+        # only after both succeed, so the BTBM never holds dangling-new
+        # pointers (Section 4.4.2).
+        way = self._choose_victim(set_index, needs_pointers=not use_delta)
+        if self._valid[set_index][way]:
+            self.stats.evictions += 1
+            self._unlink_pointers(set_index, way)
+        self._valid[set_index][way] = True
+        self._tags[set_index][way] = tag
+        self._conf[set_index][way] = 0
+        self._next_valid[set_index][way] = False
+        self._page_ptr[set_index][way] = _NO_PTR
+        self._region_ptr[set_index][way] = _NO_PTR
+        self._write_target_fields(set_index, way, target, use_delta)
+        self._mark_inserted(set_index, way)
+        self.stats.allocations += 1
+        return way
+
+    def _chain_next_target(
+        self, set_index: int, way: int, pc: int, target: int, is_same_page: bool
+    ) -> None:
+        """Multi-target bookkeeping after an update (Section 4.4.2)."""
+        if self._last_btbm_slot is not None and is_same_page:
+            last_set, last_way = self._last_btbm_slot
+            if self._valid[last_set][last_way] and self._delta[last_set][last_way]:
+                self._next_valid[last_set][last_way] = True
+                self._next_offset[last_set][last_way] = page_offset(target)
+                if self.config.next_target_tag_bits:
+                    self._next_tag[last_set][last_way] = fold_bits(
+                        pc >> 1, self.config.next_target_tag_bits
+                    )
+        if is_same_page and self._valid[set_index][way]:
+            self._last_btbm_slot = (set_index, way)
+        else:
+            self._last_btbm_slot = None
+
+    # -- accounting / introspection ---------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return self.config.storage_bits()
+
+    @property
+    def name(self) -> str:
+        return f"PDede[{self.config.mode.value}]"
+
+    def occupancy(self) -> int:
+        return sum(sum(valid) for valid in self._valid)
+
+    def delta_entry_count(self) -> int:
+        return sum(
+            1
+            for set_index in range(self._sets)
+            for way in range(self._ways)
+            if self._valid[set_index][way] and self._delta[set_index][way]
+        )
+
+    def contains(self, pc: int) -> bool:
+        return self._find_way(self._index(pc), self._tag(pc)) is not None

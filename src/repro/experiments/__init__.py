@@ -1,0 +1,111 @@
+"""Experiment runners: one function per paper figure/table.
+
+See DESIGN.md for the experiment index.  Every runner returns a result
+object with a ``render()`` method producing the same rows/series the
+paper reports; the ``benchmarks/`` tree wraps these in pytest-benchmark
+targets and ``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from repro.experiments.designs import (
+    Design,
+    baseline_design,
+    dedup_only_design,
+    ghrp_design,
+    multitag_design,
+    partition_only_design,
+    pdede_design,
+    shotgun_design,
+    standard_designs,
+    two_level_design,
+    with_ittage,
+    with_perfect_direction,
+    with_returns_in_btb,
+    with_temporal_prefetch,
+)
+from repro.experiments.harness import (
+    SuiteResult,
+    clear_cache,
+    format_table,
+    percent,
+    run_design,
+    run_suite,
+)
+from repro.experiments.characterization import (
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.fig11 import run_fig11a, run_fig11b, run_fig11c
+from repro.experiments.fig12 import run_fig12a, run_fig12b, run_fig12c
+from repro.experiments.sensitivity import (
+    run_future_pipelines,
+    run_ghrp_combination,
+    run_ittage,
+    run_multiprogramming,
+    run_multitag_alternative,
+    run_next_target_tag_extension,
+    run_perfect_direction,
+    run_prefetch_complement,
+    run_replacement_ablation,
+    run_returns_in_btb,
+    run_stale_pointer_ablation,
+    run_tag_width_ablation,
+)
+from repro.experiments.tables import run_table2, run_table4
+
+__all__ = [
+    "Design",
+    "baseline_design",
+    "dedup_only_design",
+    "ghrp_design",
+    "multitag_design",
+    "partition_only_design",
+    "pdede_design",
+    "shotgun_design",
+    "standard_designs",
+    "two_level_design",
+    "with_ittage",
+    "with_perfect_direction",
+    "with_returns_in_btb",
+    "with_temporal_prefetch",
+    "SuiteResult",
+    "clear_cache",
+    "format_table",
+    "percent",
+    "run_design",
+    "run_suite",
+    "Fig10Result",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig10",
+    "run_fig11a",
+    "run_fig11b",
+    "run_fig11c",
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig12c",
+    "run_future_pipelines",
+    "run_ghrp_combination",
+    "run_ittage",
+    "run_multiprogramming",
+    "run_multitag_alternative",
+    "run_next_target_tag_extension",
+    "run_perfect_direction",
+    "run_prefetch_complement",
+    "run_replacement_ablation",
+    "run_returns_in_btb",
+    "run_stale_pointer_ablation",
+    "run_tag_width_ablation",
+    "run_table2",
+    "run_table4",
+]

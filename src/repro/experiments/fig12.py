@@ -1,0 +1,163 @@
+"""Figure 12: Shotgun comparison, larger BTBs, iso-MPKI storage savings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PDedeMode, paper_config
+from repro.experiments.designs import baseline_design, pdede_design, shotgun_design
+from repro.experiments.harness import format_table, percent, run_suite
+from repro.frontend.params import CoreParams, ICELAKE
+
+
+@dataclass
+class Fig12aResult:
+    """Shotgun vs PDede at (near-)iso storage."""
+
+    shotgun_iso_gain: float = 0.0
+    shotgun_45k_gain: float = 0.0
+    pdede_gain: float = 0.0
+    storages_kib: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            ["Shotgun (iso ~37.5KB)", percent(self.shotgun_iso_gain),
+             f"{self.storages_kib.get('shotgun-iso', 0):.1f} KiB"],
+            ["Shotgun (45KB)", percent(self.shotgun_45k_gain),
+             f"{self.storages_kib.get('shotgun-45k', 0):.1f} KiB"],
+            ["PDede-Multi-Entry", percent(self.pdede_gain),
+             f"{self.storages_kib.get('pdede', 0):.1f} KiB"],
+        ]
+        return format_table(
+            ["design", "IPC gain over baseline", "storage"],
+            rows,
+            title="Figure 12a: comparison to Shotgun",
+        )
+
+
+def run_fig12a(scale: str | None = None, params: CoreParams = ICELAKE) -> Fig12aResult:
+    baseline = baseline_design()
+    result = Fig12aResult()
+    # ~37.8 KiB (iso with the baseline's 37.5 KiB).
+    iso = shotgun_design(key="shotgun-iso", footprint_slots=1)
+    # The paper's second, 45KB-class point (defaults land at ~43 KiB).
+    large = shotgun_design(key="shotgun-45k")
+    me = pdede_design(PDedeMode.MULTI_ENTRY)
+    result.shotgun_iso_gain = run_suite(iso, baseline, params=params, scale=scale).mean_speedup() - 1.0
+    result.shotgun_45k_gain = run_suite(large, baseline, params=params, scale=scale).mean_speedup() - 1.0
+    result.pdede_gain = run_suite(me, baseline, params=params, scale=scale).mean_speedup() - 1.0
+    result.storages_kib = {
+        "shotgun-iso": iso.build()[0].storage_kib(),
+        "shotgun-45k": large.build()[0].storage_kib(),
+        "pdede": me.build()[0].storage_kib(),
+    }
+    return result
+
+
+@dataclass
+class Fig12bResult:
+    """PDede gains at larger BTB capacities (Section 5.8 / Figure 12b)."""
+
+    gains_by_size: dict[int, float] = field(default_factory=dict)
+    storages_kib: dict[int, tuple[float, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{entries} baseline entries",
+                percent(self.gains_by_size[entries]),
+                f"{self.storages_kib[entries][0]:.1f} / {self.storages_kib[entries][1]:.1f} KiB",
+            ]
+            for entries in sorted(self.gains_by_size)
+        ]
+        return format_table(
+            ["capacity point", "PDede IPC gain", "baseline / PDede storage"],
+            rows,
+            title="Figure 12b: iso-storage PDede gains at larger BTB sizes",
+        )
+
+
+def run_fig12b(
+    scale: str | None = None,
+    params: CoreParams = ICELAKE,
+    baseline_sizes: tuple[int, ...] = (4096, 8192, 16384),
+) -> Fig12bResult:
+    result = Fig12bResult()
+    for entries in baseline_sizes:
+        factor = entries // 4096
+        base = baseline_design(entries=entries)
+        config = paper_config(PDedeMode.MULTI_ENTRY).scaled(factor)
+        pdede = pdede_design(
+            PDedeMode.MULTI_ENTRY, config=config, key=f"pdede-me-x{factor}"
+        )
+        suite = run_suite(pdede, base, params=params, scale=scale)
+        result.gains_by_size[entries] = suite.mean_speedup() - 1.0
+        result.storages_kib[entries] = (
+            base.build()[0].storage_kib(),
+            config.storage_kib(),
+        )
+    return result
+
+
+@dataclass
+class Fig12cResult:
+    """Smallest PDede that is iso-MPKI with the 37.5 KiB baseline."""
+
+    baseline_mpki: float = 0.0
+    candidates: list[tuple[str, float, float]] = field(default_factory=list)
+    chosen: str = ""
+    chosen_kib: float = 0.0
+    saving_fraction: float = 0.0
+
+    def render(self) -> str:
+        rows = [
+            [key, f"{kib:.1f} KiB", f"{mpki:.2f}"]
+            for key, kib, mpki in self.candidates
+        ]
+        table = format_table(
+            ["candidate", "storage", "suite-mean MPKI"],
+            rows,
+            title=f"Figure 12c: iso-MPKI search (baseline MPKI {self.baseline_mpki:.2f})",
+        )
+        return (
+            table
+            + f"\nchosen: {self.chosen} at {self.chosen_kib:.1f} KiB "
+            + f"({percent(self.saving_fraction)} below the 37.5 KiB baseline)"
+        )
+
+
+def run_fig12c(scale: str | None = None, params: CoreParams = ICELAKE) -> Fig12cResult:
+    """Search the smallest multi-entry PDede matching baseline MPKI."""
+    baseline = baseline_design()
+    result = Fig12cResult()
+    reference = run_suite(baseline, baseline, params=params, scale=scale)
+    baseline_mpki = _suite_mean_mpki(reference)
+    result.baseline_mpki = baseline_mpki
+
+    candidates = []
+    for btbm_entries, page_entries in ((2048, 256), (3072, 512), (4096, 512), (6144, 1024), (8192, 1024)):
+        config = paper_config(PDedeMode.MULTI_ENTRY).replace(
+            btbm_entries=btbm_entries, page_entries=page_entries
+        )
+        key = f"pdede-me-{btbm_entries}"
+        candidates.append((key, config))
+    chosen = None
+    for key, config in candidates:
+        design = pdede_design(PDedeMode.MULTI_ENTRY, config=config, key=key)
+        suite = run_suite(design, baseline, params=params, scale=scale)
+        mpki = _suite_mean_mpki(suite)
+        result.candidates.append((key, config.storage_kib(), mpki))
+        if chosen is None and mpki <= baseline_mpki:
+            chosen = (key, config)
+    if chosen is None:
+        chosen = candidates[-1]
+    result.chosen = chosen[0]
+    result.chosen_kib = chosen[1].storage_kib()
+    baseline_kib = baseline.build()[0].storage_kib()
+    result.saving_fraction = 1.0 - result.chosen_kib / baseline_kib
+    return result
+
+
+def _suite_mean_mpki(suite) -> float:
+    values = [stats.btb_mpki for stats in suite.per_app.values()]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,216 @@
+"""Suite runner with process-level result caching.
+
+Every figure/table of the paper is (app x design) simulations plus an
+aggregation.  Simulations are deterministic, so results are memoised per
+``(trace name, scale, design key, core-params, warmup)``: benchmark
+files for different figures share the underlying runs, and repeated
+pytest-benchmark rounds cost one simulation.
+
+``run_suite(..., workers=N)`` fans the per-application simulations out
+over a fork-based process pool -- useful at ``REPRO_SCALE=full`` where a
+single design sweep is 102 simulations.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.frontend.params import CoreParams, ICELAKE
+from repro.frontend.simulator import FrontendSimulator
+from repro.frontend.stats import FrontendStats
+from repro.workloads.suite import build_suite, current_scale, get_trace
+from repro.experiments.designs import Design
+
+#: (trace name, scale, design key, params, warmup) -> FrontendStats
+_RESULT_CACHE: dict[tuple, FrontendStats] = {}
+
+#: Designs visible to pool workers (populated pre-fork by run_suite).
+_WORKER_DESIGNS: dict[str, Design] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised simulation results (tests use this)."""
+    _RESULT_CACHE.clear()
+
+
+def run_design(
+    trace_name: str,
+    design: Design,
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.3,
+    scale: str | None = None,
+) -> FrontendStats:
+    """Simulate one (app, design) pair, memoised."""
+    scale = scale or current_scale()
+    key = (trace_name, scale, design.key, params, warmup_fraction)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    trace = get_trace(trace_name, scale)
+    btb, simulator_kwargs = design.build()
+    simulator = FrontendSimulator(btb, params=params, **simulator_kwargs)
+    stats = simulator.run(trace, warmup_fraction=warmup_fraction)
+    _RESULT_CACHE[key] = stats
+    return stats
+
+
+@dataclass
+class SuiteResult:
+    """Results of one design across the suite, against a baseline design."""
+
+    design_key: str
+    baseline_key: str
+    per_app: dict[str, FrontendStats] = field(default_factory=dict)
+    baseline_per_app: dict[str, FrontendStats] = field(default_factory=dict)
+    categories: dict[str, str] = field(default_factory=dict)
+
+    # -- aggregates --------------------------------------------------------
+
+    def speedups(self) -> dict[str, float]:
+        return {
+            name: stats.speedup_over(self.baseline_per_app[name])
+            for name, stats in self.per_app.items()
+        }
+
+    def mpki_reductions(self) -> dict[str, float]:
+        return {
+            name: stats.mpki_reduction_vs(self.baseline_per_app[name])
+            for name, stats in self.per_app.items()
+        }
+
+    def mean_speedup(self) -> float:
+        """Geometric-mean IPC speedup over the suite (1.0 = no change)."""
+        values = list(self.speedups().values())
+        if not values:
+            return 1.0
+        return math.exp(sum(math.log(max(v, 1e-9)) for v in values) / len(values))
+
+    def mean_mpki_reduction(self) -> float:
+        """Arithmetic-mean fractional BTB-MPKI reduction."""
+        values = list(self.mpki_reductions().values())
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def category_mean_speedup(self) -> dict[str, float]:
+        by_category: dict[str, list[float]] = {}
+        for name, speedup in self.speedups().items():
+            by_category.setdefault(self.categories.get(name, "?"), []).append(speedup)
+        return {
+            category: math.exp(sum(math.log(max(v, 1e-9)) for v in vals) / len(vals))
+            for category, vals in by_category.items()
+        }
+
+    def category_mean_mpki_reduction(self) -> dict[str, float]:
+        by_category: dict[str, list[float]] = {}
+        for name, reduction in self.mpki_reductions().items():
+            by_category.setdefault(self.categories.get(name, "?"), []).append(reduction)
+        return {
+            category: sum(vals) / len(vals) for category, vals in by_category.items()
+        }
+
+
+def _pool_worker(job: tuple) -> tuple[tuple, FrontendStats]:
+    """Pool entry point: simulate one (app, design) pair in a child.
+
+    Children are forked, so ``_WORKER_DESIGNS`` (and the parent's trace
+    cache) are inherited by reference; only the stats come back.
+    """
+    trace_name, design_key, params, warmup_fraction, scale = job
+    design = _WORKER_DESIGNS[design_key]
+    stats = run_design(
+        trace_name, design, params=params, warmup_fraction=warmup_fraction, scale=scale
+    )
+    key = (trace_name, scale, design_key, params, warmup_fraction)
+    return key, stats
+
+
+def run_suite(
+    design: Design,
+    baseline: Design,
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.3,
+    scale: str | None = None,
+    baseline_params: CoreParams | None = None,
+    workers: int | None = None,
+) -> SuiteResult:
+    """Run ``design`` and ``baseline`` across the active suite.
+
+    Args:
+        workers: fan the simulations out over this many forked worker
+            processes (default: serial; respects the result cache either
+            way).  Ignored on platforms without fork.
+    """
+    scale = scale or current_scale()
+    if workers and workers > 1 and hasattr(os, "fork"):
+        _prefill_cache_parallel(
+            [design, baseline],
+            params={design.key: params, baseline.key: baseline_params or params},
+            warmup_fraction=warmup_fraction,
+            scale=scale,
+            workers=workers,
+        )
+    result = SuiteResult(design_key=design.key, baseline_key=baseline.key)
+    for spec in build_suite(scale):
+        result.categories[spec.name] = spec.category
+        result.per_app[spec.name] = run_design(
+            spec.name, design, params=params, warmup_fraction=warmup_fraction, scale=scale
+        )
+        result.baseline_per_app[spec.name] = run_design(
+            spec.name,
+            baseline,
+            params=baseline_params or params,
+            warmup_fraction=warmup_fraction,
+            scale=scale,
+        )
+    return result
+
+
+def _prefill_cache_parallel(
+    designs: list[Design],
+    params: dict[str, CoreParams],
+    warmup_fraction: float,
+    scale: str,
+    workers: int,
+) -> None:
+    """Populate the result cache for (suite x designs) using a fork pool."""
+    import multiprocessing
+
+    jobs = []
+    for design in designs:
+        _WORKER_DESIGNS[design.key] = design
+        for spec in build_suite(scale):
+            key = (spec.name, scale, design.key, params[design.key], warmup_fraction)
+            if key not in _RESULT_CACHE:
+                get_trace(spec.name, scale)  # generate pre-fork, share via COW
+                jobs.append((spec.name, design.key, params[design.key],
+                             warmup_fraction, scale))
+    if not jobs:
+        return
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=workers) as pool:
+        for key, stats in pool.imap_unordered(_pool_worker, jobs):
+            _RESULT_CACHE[key] = stats
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an ASCII table (the benches print these)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

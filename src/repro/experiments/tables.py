@@ -1,0 +1,71 @@
+"""Table 2 (storage) and Table 4 (access latency) runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PDedeMode, paper_config
+from repro.experiments.harness import format_table
+from repro.storage.bits import StorageRow, storage_table
+from repro.storage.cacti import access_time_ns, serial_access_time_ns
+
+
+@dataclass
+class Table2Result:
+    rows: list[StorageRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = []
+        for row in self.rows:
+            breakdown = ", ".join(f"{k}={v}" for k, v in row.components.items())
+            body.append([row.name, f"{row.total_kib:.2f} KiB", breakdown])
+        return format_table(
+            ["design", "total storage", "component bits"],
+            body,
+            title="Table 2: storage requirements",
+        )
+
+
+def run_table2() -> Table2Result:
+    return Table2Result(rows=storage_table())
+
+
+@dataclass
+class Table4Result:
+    """Access latencies of the baseline BTB vs the PDede chain."""
+
+    entries: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        body = [
+            [name, f"{ports[1]:.2f}", f"{ports[6]:.2f}"]
+            for name, ports in self.entries.items()
+        ]
+        return format_table(
+            ["structure", "1 RW port (ns)", "6 RW ports (ns)"],
+            body,
+            title="Table 4: access latency at 22nm (analytical CACTI fit)",
+        )
+
+
+def run_table4() -> Table4Result:
+    """Reproduce the Table 4 latency comparison."""
+    from repro.storage.bits import baseline_storage_row
+
+    config = paper_config(PDedeMode.DEFAULT)
+    baseline_bits = baseline_storage_row().total_bits
+    btbm_bits = config.btbm_bits()
+    page_bits = config.page_btb_bits()
+    result = Table4Result()
+    for name, bits in (
+        ("Baseline BTB", baseline_bits),
+        ("BTBM", btbm_bits),
+        ("Page-BTB (PBTB)", page_bits),
+    ):
+        result.entries[name] = {
+            ports: access_time_ns(bits, ports) for ports in (1, 6)
+        }
+    result.entries["PDede (BTBM+PBTB)"] = {
+        ports: serial_access_time_ns([btbm_bits, page_bits], ports) for ports in (1, 6)
+    }
+    return result

@@ -1,0 +1,15 @@
+"""Frontend timing model: FDIP pipeline, ICache, IPC accounting.
+
+* :class:`CoreParams` / :data:`ICELAKE` -- the Table 3 core and its
+  Section 5.11 future scalings;
+* :class:`ICache` -- the L1 instruction cache;
+* :class:`FrontendSimulator` -- the trace-driven timing model;
+* :class:`FrontendStats` -- Top-Down style cycle/IPC accounting.
+"""
+
+from repro.frontend.params import CoreParams, ICELAKE
+from repro.frontend.icache import ICache
+from repro.frontend.stats import FrontendStats
+from repro.frontend.simulator import FrontendSimulator
+
+__all__ = ["CoreParams", "ICELAKE", "ICache", "FrontendStats", "FrontendSimulator"]

@@ -1,0 +1,87 @@
+"""Cycle accounting for the frontend timing model.
+
+Buckets follow the Top-Down methodology (Yasin, ISPASS 2014) that the
+paper's Figure 1 uses: retiring (base), frontend-bound (split into
+ICache supply stalls, BTB-resteer stalls, and BTB lookup bubbles), and
+bad speculation (execute-stage flushes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FrontendStats:
+    """Aggregated results of one frontend simulation."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    # Top-Down style cycle buckets.
+    base_cycles: float = 0.0
+    icache_stall_cycles: float = 0.0
+    btb_bubble_cycles: float = 0.0
+    btb_resteer_cycles: float = 0.0
+    bad_speculation_cycles: float = 0.0
+    # Event counts.
+    branches: int = 0
+    taken_branches: int = 0
+    btb_misses: int = 0
+    decode_resteers: int = 0
+    execute_resteers: int = 0
+    direction_mispredicts: int = 0
+    indirect_mispredicts: int = 0
+    ras_mispredicts: int = 0
+    icache_misses: int = 0
+    extra_latency_lookups: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def btb_mpki(self) -> float:
+        """BTB misses per kilo-instruction (the paper's MPKI metric)."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.btb_misses / self.instructions
+
+    @property
+    def frontend_stall_cycles(self) -> float:
+        return self.icache_stall_cycles + self.btb_bubble_cycles + self.btb_resteer_cycles
+
+    @property
+    def frontend_bound_fraction(self) -> float:
+        """Share of all cycles lost to frontend supply (Figure 1)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.frontend_stall_cycles / self.cycles
+
+    @property
+    def btb_resteer_share_of_frontend(self) -> float:
+        """Share of frontend stalls caused by BTB resteers (Figure 1)."""
+        total = self.frontend_stall_cycles
+        if total <= 0:
+            return 0.0
+        return (self.btb_resteer_cycles + self.btb_bubble_cycles) / total
+
+    @property
+    def bad_speculation_fraction(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.bad_speculation_cycles / self.cycles
+
+    def speedup_over(self, baseline: "FrontendStats") -> float:
+        """IPC speedup of this run relative to ``baseline`` (1.0 = equal)."""
+        if baseline.ipc <= 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def mpki_reduction_vs(self, baseline: "FrontendStats") -> float:
+        """Fractional BTB-MPKI reduction relative to ``baseline``."""
+        if baseline.btb_mpki <= 0:
+            return 0.0
+        return 1.0 - self.btb_mpki / baseline.btb_mpki

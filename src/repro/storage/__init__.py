@@ -1,0 +1,33 @@
+"""Storage accounting (Table 2) and SRAM latency modelling (Table 4)."""
+
+from repro.storage.bits import (
+    StorageRow,
+    baseline_storage_row,
+    pdede_storage_row,
+    storage_table,
+    verify_design_storage,
+)
+from repro.storage.cacti import access_cycles, access_time_ns, serial_access_time_ns
+from repro.storage.energy import (
+    EnergyEstimate,
+    access_energy,
+    baseline_energy,
+    leakage_power,
+    pdede_energy,
+)
+
+__all__ = [
+    "StorageRow",
+    "baseline_storage_row",
+    "pdede_storage_row",
+    "storage_table",
+    "verify_design_storage",
+    "access_cycles",
+    "access_time_ns",
+    "serial_access_time_ns",
+    "EnergyEstimate",
+    "access_energy",
+    "baseline_energy",
+    "leakage_power",
+    "pdede_energy",
+]

@@ -1,0 +1,86 @@
+"""First-order SRAM energy model (the paper's "area and energy savings").
+
+Section 5.8/5.12 argue PDede's iso-MPKI configurations save storage "and
+as such area and energy".  This model quantifies that: per-access dynamic
+energy grows with the square root of array capacity (bitline/wordline
+length), leakage power grows linearly with capacity, and a partitioned
+design pays only for the components an access actually touches (the
+delta path never reads the Page-/Region-BTB).
+
+Coefficients are normalised so the 37.5 KiB baseline BTB reads at 1.0
+energy units per access -- the model compares designs, it does not claim
+absolute joules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_BASELINE_BITS = 4096 * 75
+
+
+def access_energy(capacity_bits: int) -> float:
+    """Dynamic read energy of one array access (baseline read = 1.0)."""
+    if capacity_bits <= 0:
+        raise ValueError("capacity must be positive")
+    return math.sqrt(capacity_bits / _BASELINE_BITS)
+
+
+def leakage_power(capacity_bits: int) -> float:
+    """Static leakage (baseline array = 1.0)."""
+    if capacity_bits <= 0:
+        raise ValueError("capacity must be positive")
+    return capacity_bits / _BASELINE_BITS
+
+
+@dataclass
+class EnergyEstimate:
+    """Per-design energy summary over one simulated run."""
+
+    name: str
+    dynamic_energy: float
+    leakage: float
+    accesses: int
+
+    @property
+    def energy_per_access(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.dynamic_energy / self.accesses
+
+
+def baseline_energy(lookups: int) -> EnergyEstimate:
+    """Energy of a conventional BTB serving ``lookups`` accesses."""
+    return EnergyEstimate(
+        name="baseline",
+        dynamic_energy=lookups * access_energy(_BASELINE_BITS),
+        leakage=leakage_power(_BASELINE_BITS),
+        accesses=lookups,
+    )
+
+
+def pdede_energy(
+    config,
+    lookups: int,
+    pointer_lookups: int,
+) -> EnergyEstimate:
+    """Energy of a PDede design.
+
+    Every lookup reads the BTBM; only ``pointer_lookups`` (different-page
+    hits) additionally read the Page- and Region-BTBs -- the delta path's
+    energy advantage on top of its latency advantage.
+    """
+    if pointer_lookups > lookups:
+        raise ValueError("pointer_lookups cannot exceed lookups")
+    btbm = access_energy(config.btbm_bits())
+    page = access_energy(config.page_btb_bits())
+    region = access_energy(config.region_btb_bits())
+    dynamic = lookups * btbm + pointer_lookups * (page + region)
+    total_bits = config.storage_bits()
+    return EnergyEstimate(
+        name=f"pdede-{config.mode.value}",
+        dynamic_energy=dynamic,
+        leakage=leakage_power(total_bits),
+        accesses=lookups,
+    )

@@ -1,0 +1,44 @@
+"""Synthetic workload substrate.
+
+The paper's 102 proprietary traces are substituted by a seeded synthetic
+program model (see DESIGN.md for the calibration targets):
+
+* :class:`WorkloadSpec` -- all knobs of one application;
+* :class:`CodeLayout` -- the static program (regions / pages / functions);
+* :func:`generate_trace` -- the dynamic branch trace for a spec;
+* :func:`build_suite` / :func:`suite_traces` -- the 102-app suite,
+  scaled by the ``REPRO_SCALE`` environment variable.
+"""
+
+from repro.workloads.spec import CATEGORY_COUNTS, CATEGORY_TEMPLATES, WorkloadSpec
+from repro.workloads.layout import CodeLayout
+from repro.workloads.generator import generate_trace
+from repro.workloads.trace import Trace
+from repro.workloads.suite import (
+    SCALES,
+    build_suite,
+    current_scale,
+    get_trace,
+    suite_traces,
+)
+from repro.workloads.textformat import TraceFormatError, dump_trace, load_trace
+from repro.workloads.mixing import interleave_traces, working_set_overlap
+
+__all__ = [
+    "CATEGORY_COUNTS",
+    "CATEGORY_TEMPLATES",
+    "WorkloadSpec",
+    "CodeLayout",
+    "generate_trace",
+    "Trace",
+    "SCALES",
+    "build_suite",
+    "current_scale",
+    "get_trace",
+    "suite_traces",
+    "TraceFormatError",
+    "dump_trace",
+    "load_trace",
+    "interleave_traces",
+    "working_set_overlap",
+]

@@ -1,0 +1,418 @@
+"""Static code layout: regions, pages, functions, basic blocks.
+
+This builds the *program* a synthetic workload executes.  The layout
+choices encode the paper's Section 3 observations structurally:
+
+* code lives in a handful of *regions* (library clusters separated by
+  tens of thousands of pages -- Figure 5), each internally clustered;
+* pages are sparsely occupied (a page holds ~2 small functions, giving
+  the ~18 branch targets per page of Figure 6);
+* intra-function branches (loops, forward conditionals, joins) keep the
+  target in the branch's own page when the function is small -- the
+  same-page population of Figure 8;
+* calls concentrate on a Zipf-popular set of utility functions, so many
+  call sites share one target (the ~30% duplicate targets of Figure 7).
+
+The layout is purely static; :mod:`repro.workloads.generator` walks it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+
+from repro.branch.address import OFFSET_BITS, REGION_BITS, PAGE_IN_REGION_BITS
+from repro.workloads.spec import WorkloadSpec
+
+# Internal block-terminator kinds (mapped to BranchKind by the generator).
+LOOP = 0
+COND = 1
+JUMP = 2
+CALL = 3
+IND_CALL = 4
+IND_JUMP = 5
+RET = 6
+
+_INSTR_BYTES = 4
+_PAGE_BYTES = 1 << OFFSET_BITS
+
+
+class CodeLayout:
+    """Deterministic static program built from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        rng = random.Random(spec.seed)
+        self._rng = rng
+        # Per-function data.
+        self.fn_entry_block: list[int] = []
+        self.fn_entry_addr: list[int] = []
+        self.fn_region: list[int] = []
+        # Per-block data (global arrays across all functions).
+        self.block_start: list[int] = []
+        self.block_branch_pc: list[int] = []
+        self.block_gap: list[int] = []
+        self.block_kind: list[int] = []
+        self.block_target: list[int] = []  # block idx / fn idx / list idx / -1
+        self.block_param: list[float] = []  # cond prob or mean trip count
+        self.block_next: list[int] = []
+        # Indirect-branch target lists: (candidates, cumulative weights).
+        self.indirect_lists: list[tuple[list[int], list[float]]] = []
+        # Phase -> (root function ids, cumulative Zipf weights).
+        self.phase_roots: list[tuple[list[int], list[float]]] = []
+
+        self._build_regions()
+        self._build_functions()
+        self._assign_addresses()
+        self._build_phases()
+        self._build_dispatcher()
+
+    # -- regions ---------------------------------------------------------------
+
+    def _build_regions(self) -> None:
+        """Pick sparse region ids and the function-to-region map.
+
+        Region semantics mirror a real process image, which is what keeps
+        the *dynamically live* region count at <= 3 and lets the paper's
+        4-entry Region-BTB work:
+
+        * region 0 -- dispatcher / runtime glue (a few branches only);
+        * region 1 -- the shared utility library (the Zipf-popular top
+          30% of the function index space: every phase calls into it);
+        * regions 2..n -- application modules, each a contiguous chunk
+          of the root function index space.  A phase executes roots of
+          (mostly) one module, so phase changes -- not individual calls
+          -- are what move execution across regions (Figure 5).
+        """
+        rng = self._rng
+        spec = self.spec
+        if spec.n_regions < 3:
+            raise ValueError("n_regions must be >= 3 (glue, utilities, modules)")
+        ids = set()
+        while len(ids) < spec.n_regions:
+            ids.add(rng.getrandbits(REGION_BITS - 1) | 1)
+        self.region_ids = sorted(ids)
+        self.utilities_start = int(spec.n_functions * 0.7)
+        self.n_modules = spec.n_regions - 2
+        self._module_chunk = max(1, -(-self.utilities_start // self.n_modules))
+
+    def _region_of_function(self, fn_index: int) -> int:
+        if fn_index >= self.utilities_start:
+            return 1
+        return min(2 + fn_index // self._module_chunk, self.spec.n_regions - 1)
+
+    # -- function/block structure ----------------------------------------------
+
+    def _build_functions(self) -> None:
+        rng = self._rng
+        spec = self.spec
+        n_functions = spec.n_functions
+        utilities_start = self.utilities_start
+        # Zipf popularity over utility functions (shared call targets).
+        utility_ids = list(range(utilities_start, n_functions))
+        utility_cum: list[float] = []
+        acc = 0.0
+        for rank in range(len(utility_ids)):
+            acc += 1.0 / ((rank + 1) ** spec.utility_zipf_s)
+            utility_cum.append(acc)
+        self._utility_ids = utility_ids
+        self._utility_cum = utility_cum
+
+        kinds, kind_cum = self._terminator_distribution()
+        for fn_index in range(n_functions):
+            self.fn_region.append(self._region_of_function(fn_index))
+            self.fn_entry_block.append(len(self.block_start))
+            self.fn_entry_addr.append(0)  # patched by _assign_addresses
+            n_blocks = max(2, int(rng.expovariate(1.0 / spec.blocks_per_fn_mean)) + 2)
+            first = len(self.block_start)
+            # Join blocks: a small pool of forward-branch targets so that
+            # several conditionals share one target (dedup!).
+            join_pool = sorted(
+                rng.sample(range(1, n_blocks), k=max(1, n_blocks // 8))
+            )
+            for local in range(n_blocks):
+                block = first + local
+                gap = max(1, int(rng.expovariate(1.0 / spec.block_instrs_mean)) + 1)
+                self.block_start.append(0)
+                self.block_branch_pc.append(0)
+                self.block_gap.append(gap)
+                self.block_next.append(block + 1 if local + 1 < n_blocks else -1)
+                if local + 1 == n_blocks:
+                    self._emit_return(block)
+                    continue
+                kind = kinds[
+                    bisect.bisect_left(kind_cum, rng.random() * kind_cum[-1])
+                ]
+                self._emit_terminator(
+                    block, local, n_blocks, first, fn_index, kind, join_pool, rng
+                )
+
+    def _terminator_distribution(self) -> tuple[list[int], list[float]]:
+        spec = self.spec
+        kinds = [LOOP, COND, JUMP, CALL, IND_CALL, IND_JUMP]
+        weights = [
+            spec.loop_fraction,
+            spec.cond_fraction,
+            spec.jump_fraction,
+            spec.call_fraction,
+            spec.ind_call_fraction,
+            spec.ind_jump_fraction,
+        ]
+        cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc)
+        return kinds, cumulative
+
+    def _emit_return(self, block: int) -> None:
+        self.block_kind.append(RET)
+        self.block_target.append(-1)
+        self.block_param.append(0.0)
+
+    def _emit_terminator(
+        self,
+        block: int,
+        local: int,
+        n_blocks: int,
+        first: int,
+        fn_index: int,
+        kind: int,
+        join_pool: list[int],
+        rng: random.Random,
+    ) -> None:
+        spec = self.spec
+        if kind == LOOP and local > 0:
+            # Backward edge to a recent block: a small inner loop.
+            span = min(local, 3)
+            target = block - rng.randint(1, span)
+            self.block_kind.append(LOOP)
+            self.block_target.append(target)
+            self.block_param.append(max(1.5, rng.gauss(spec.mean_trip_count, 1.5)))
+            return
+        if kind in (COND, LOOP):
+            # Forward conditional to one of the function's join blocks.
+            candidates = [first + j for j in join_pool if first + j > block]
+            target = candidates[0] if candidates else self.block_next[block]
+            self.block_kind.append(COND)
+            self.block_target.append(target)
+            self.block_param.append(self._cond_probability(rng))
+            return
+        if kind == JUMP:
+            candidates = [first + j for j in join_pool if first + j > block]
+            target = rng.choice(candidates) if candidates else self.block_next[block]
+            self.block_kind.append(JUMP)
+            self.block_target.append(target)
+            self.block_param.append(0.0)
+            return
+        if kind == CALL:
+            self.block_kind.append(CALL)
+            self.block_target.append(self._pick_callee(fn_index, rng))
+            self.block_param.append(0.0)
+            return
+        if kind == IND_CALL:
+            fanout = rng.randint(2, max(2, spec.indirect_fanout))
+            callees = [self._pick_callee(fn_index, rng) for _ in range(fanout)]
+            self.block_kind.append(IND_CALL)
+            self.block_target.append(self._intern_indirect(callees, rng))
+            self.block_param.append(0.0)
+            return
+        # IND_JUMP: a switch over later blocks of this function.
+        candidates = list(range(block + 1, first + n_blocks - 1))
+        if not candidates:
+            self.block_kind.append(COND)
+            self.block_target.append(self.block_next[block])
+            self.block_param.append(self._cond_probability(rng))
+            return
+        fanout = min(len(candidates), max(2, spec.indirect_fanout))
+        cases = rng.sample(candidates, k=fanout) if len(candidates) >= fanout else candidates
+        self.block_kind.append(IND_JUMP)
+        self.block_target.append(self._intern_indirect(cases, rng))
+        self.block_param.append(0.0)
+
+    def _cond_probability(self, rng: random.Random) -> float:
+        """Per-site taken probability; mostly strongly biased sites.
+
+        The remaining mass after ``never_taken_fraction`` is split 55%
+        strongly-taken / 15% strongly-not-taken / 30% mixed, which keeps
+        conditionals realistically predictable while leaving enough
+        never-taken sites to shape the static-taken curve of Figure 3.
+        """
+        spec = self.spec
+        roll = rng.random()
+        if roll < spec.never_taken_fraction:
+            return rng.uniform(0.002, 0.02)
+        rest = (roll - spec.never_taken_fraction) / (1.0 - spec.never_taken_fraction)
+        if rest < 0.62:
+            return rng.uniform(0.97, 0.998)
+        if rest < 0.80:
+            return rng.uniform(0.002, 0.03)
+        if rest < 0.97:
+            # Leaning-but-noisy sites (~8/92): hard yet learnable, unlike
+            # an i.i.d. coin flip that no real predictor could beat.
+            return rng.uniform(0.88, 0.95) if rng.random() < 0.5 else rng.uniform(0.05, 0.12)
+        return rng.uniform(0.4, 0.6)  # the rare genuinely hard branches
+
+    def _pick_callee(self, caller: int, rng: random.Random) -> int:
+        """Acyclic callee choice: module-local or Zipf-popular utility."""
+        n_functions = self.spec.n_functions
+        if caller + 1 >= n_functions:
+            return caller  # degenerate; generator treats self-call as no-op
+        if rng.random() < 0.65:
+            # Module-local call: a *tight* neighbourhood, so each root's
+            # call subtree is mostly disjoint from other roots' subtrees
+            # (that disjointness is what makes the hot working set scale
+            # with the number of hot roots).
+            return rng.randint(min(caller + 1, n_functions - 1), min(caller + 12, n_functions - 1))
+        # Popular shared utility -- the duplicate-target driver.
+        position = bisect.bisect_left(
+            self._utility_cum, rng.random() * self._utility_cum[-1]
+        )
+        callee = self._utility_ids[position]
+        if callee <= caller:
+            callee = rng.randint(caller + 1, n_functions - 1)
+        return callee
+
+    def _intern_indirect(self, candidates: list[int], rng: random.Random) -> int:
+        # Indirect sites are mostly monomorphic-in-practice: one dominant
+        # receiver (~80%+) plus a tail, as in real virtual-call profiles.
+        # (A BTB predicts the dominant target; the tail is the genuinely
+        # hard part that ITTAGE exists for.)
+        weights = [10.0] + [1.0 / (index + 1) for index in range(1, len(candidates))]
+        cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc)
+        self.indirect_lists.append((candidates, cumulative))
+        return len(self.indirect_lists) - 1
+
+    # -- address assignment -------------------------------------------------------
+
+    def _assign_addresses(self) -> None:
+        """Place functions into sparse pages grouped by region."""
+        rng = self._rng
+        spec = self.spec
+        page_cursor = [0] * spec.n_regions  # page-in-region cursor
+        cursor_addr: dict[int, int] = {}
+        functions_on_page: dict[int, int] = {}
+        per_region: dict[int, list[int]] = {}
+        for fn_index, region in enumerate(self.fn_region):
+            per_region.setdefault(region, []).append(fn_index)
+        for region, fn_list in per_region.items():
+            base = self.region_ids[region] << (OFFSET_BITS + PAGE_IN_REGION_BITS)
+            page_cursor[region] = rng.randint(0, 1 << 8)
+            cursor_addr[region] = base + page_cursor[region] * _PAGE_BYTES
+            functions_on_page[region] = 0
+            budget = max(
+                1, int(math.ceil(spec.functions_per_page_mean))
+            )
+            for fn_index in fn_list:
+                if functions_on_page[region] >= budget:
+                    # Move to a fresh page a short stride away (spatial
+                    # clustering within the region), wrapping inside the
+                    # region's 2**16-page span.
+                    stride = rng.randint(1, spec.page_stride_max)
+                    page_cursor[region] = (page_cursor[region] + stride) % (
+                        (1 << PAGE_IN_REGION_BITS) - 4
+                    )
+                    cursor_addr[region] = base + page_cursor[region] * _PAGE_BYTES
+                    functions_on_page[region] = 0
+                    budget = max(1, int(rng.gauss(spec.functions_per_page_mean, 1.0)))
+                self._place_function(fn_index, cursor_addr[region])
+                fn_bytes = self._function_bytes(fn_index)
+                cursor_addr[region] += fn_bytes + rng.randint(2, 8) * _INSTR_BYTES
+                page_cursor[region] = (cursor_addr[region] - base) // _PAGE_BYTES
+                functions_on_page[region] += 1
+
+    def _function_blocks(self, fn_index: int) -> range:
+        first = self.fn_entry_block[fn_index]
+        last = (
+            self.fn_entry_block[fn_index + 1]
+            if fn_index + 1 < len(self.fn_entry_block)
+            else len(self.block_start)
+        )
+        return range(first, last)
+
+    def _function_bytes(self, fn_index: int) -> int:
+        return sum(
+            (self.block_gap[block] + 1) * _INSTR_BYTES
+            for block in self._function_blocks(fn_index)
+        )
+
+    def _place_function(self, fn_index: int, start_addr: int) -> None:
+        self.fn_entry_addr[fn_index] = start_addr
+        cursor = start_addr
+        for block in self._function_blocks(fn_index):
+            self.block_start[block] = cursor
+            cursor += (self.block_gap[block] + 1) * _INSTR_BYTES
+            self.block_branch_pc[block] = cursor - _INSTR_BYTES
+
+    # -- phases ------------------------------------------------------------------
+
+    def _build_phases(self) -> None:
+        rng = self._rng
+        spec = self.spec
+        root_limit = max(2, int(spec.n_functions * 0.6))
+        for phase in range(spec.n_phases):
+            # A phase concentrates on one application module (= one
+            # region), sliding its window within the module across the
+            # phase cycle; live regions stay at ~3 (glue + utilities +
+            # the module), and phase changes hop regions (Figure 5).
+            module = phase % self.n_modules
+            module_start = module * self._module_chunk
+            module_end = min(module_start + self._module_chunk, root_limit)
+            if module_start >= root_limit:
+                module_start, module_end = 0, min(self._module_chunk, root_limit)
+            span = max(1, module_end - module_start)
+            count = min(spec.hot_functions_per_phase, span)
+            stride = max(1, span // count)
+            offset0 = (phase * 131) % span
+            # Stride-spread the hot roots across the module so their
+            # (tight) call subtrees do not overlap each other.
+            window = [
+                module_start + (offset0 + offset * stride) % span
+                for offset in range(count)
+            ]
+            rng.shuffle(window)
+            cumulative: list[float] = []
+            acc = 0.0
+            for rank in range(len(window)):
+                acc += 1.0 / ((rank + 1) ** spec.zipf_s)
+                cumulative.append(acc)
+            self.phase_roots.append((window, cumulative))
+
+    # -- dispatcher ----------------------------------------------------------------
+
+    def _build_dispatcher(self) -> None:
+        """Top-level driver: a loop branch plus per-root direct call sites.
+
+        The driver models unrolled dispatch code (a command table / event
+        loop body): each root function is invoked from its *own* direct
+        call site, so dispatch is predictable once learned -- unlike a
+        single indirect call site, whose target would change on every
+        iteration and drown the trace in irreducible mispredictions.
+        The call sites live in region 0 (runtime glue) and are part of
+        the sweeping working set themselves.
+        """
+        base = self.region_ids[0] << (OFFSET_BITS + PAGE_IN_REGION_BITS)
+        self.dispatch_loop_pc = base + 0x40
+        self._dispatch_sites_base = base + 0x100
+        self.dispatch_gap = 3
+
+    def dispatch_call_site(self, root: int) -> int:
+        """Direct call-site PC of the driver entry for ``root``."""
+        return self._dispatch_sites_base + root * 8
+
+    # -- summary helpers --------------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_start)
+
+    def static_branch_pcs(self) -> list[int]:
+        return list(self.block_branch_pc)
+
+    def unique_pages(self) -> int:
+        return len({pc >> OFFSET_BITS for pc in self.block_branch_pc})

@@ -1,0 +1,73 @@
+"""Multiprogrammed trace mixing (the PID bit's reason to exist).
+
+Every BTB entry in the paper carries a 1-bit process ID (Figure 2 /
+Section 4.4): data-center cores timeshare, and a context switch must not
+let one process consume another's predictions.  This module builds that
+scenario: it interleaves complete traces in round-robin scheduling
+quanta, producing one merged trace whose BTB pressure is the *union* of
+the programs' working sets -- the consolidation workload where extra
+effective capacity (PDede's whole point) matters most.
+
+Address spaces of distinct suite workloads are disjoint by construction
+(each seed draws its own random region ids), so the merged trace needs
+no remapping and the PID is implicit in the region bits.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import Trace
+
+
+def interleave_traces(
+    traces: list[Trace],
+    quantum_events: int = 2000,
+    name: str | None = None,
+) -> Trace:
+    """Round-robin interleave ``traces`` in quanta of ``quantum_events``.
+
+    Each quantum switches to the next program, resuming where it left
+    off; programs that run out are skipped.  The merged trace ends when
+    every input is exhausted, so every input event appears exactly once.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    if quantum_events <= 0:
+        raise ValueError("quantum_events must be positive")
+    merged = Trace(
+        name=name or ("mix(" + "+".join(trace.name for trace in traces) + ")"),
+        category="Mixed",
+    )
+    cursors = [0] * len(traces)
+    live = len(traces)
+    current = 0
+    while live:
+        trace = traces[current]
+        cursor = cursors[current]
+        if cursor >= len(trace):
+            current = (current + 1) % len(traces)
+            continue
+        end = min(cursor + quantum_events, len(trace))
+        merged.pcs.extend(trace.pcs[cursor:end])
+        merged.kinds.extend(trace.kinds[cursor:end])
+        merged.takens.extend(trace.takens[cursor:end])
+        merged.targets.extend(trace.targets[cursor:end])
+        merged.gaps.extend(trace.gaps[cursor:end])
+        cursors[current] = end
+        if end >= len(trace):
+            live -= 1
+        current = (current + 1) % len(traces)
+    return merged
+
+
+def working_set_overlap(first: Trace, second: Trace) -> float:
+    """Fraction of the smaller trace's branch PCs shared with the other.
+
+    Suite traces should report ~0 (disjoint address spaces); use this to
+    sanity-check externally imported traces before mixing.
+    """
+    pcs_first = set(first.pcs)
+    pcs_second = set(second.pcs)
+    if not pcs_first or not pcs_second:
+        return 0.0
+    shared = len(pcs_first & pcs_second)
+    return shared / min(len(pcs_first), len(pcs_second))

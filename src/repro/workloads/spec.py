@@ -1,0 +1,179 @@
+"""Workload specifications and the paper's four application categories.
+
+The paper evaluates 102 proprietary frontend-bound applications
+(Table 1: 61 Server, 20 Browser, 11 Business Productivity, 10 Personal).
+The exact binaries are anonymised, so we substitute a parameterised
+synthetic program model whose knobs are calibrated per category to the
+branch-level characteristics the paper *does* publish (Figures 3-8); the
+calibration targets are listed in DESIGN.md.
+
+The load-bearing structure (why these defaults look the way they do):
+
+* Each trace is a *driver loop* sweeping a hot set of root functions in
+  round-robin order (plus Zipf draws); each root invokes a small, mostly
+  disjoint call subtree.  The per-sweep footprint is therefore roughly
+  ``hot_functions_per_phase x (distinct branch sites per subtree)``, and
+  every hot branch is revisited once per sweep at a reuse distance of
+  one full footprint -- exactly the regime in which BTB *capacity*
+  decides hit rates, which is the regime the paper studies.
+* Footprints are tuned per category to straddle the capacity ladder:
+  baseline 4K < PDede-Default 6K < PDede-Multi-Entry 8K monitor entries.
+* Regions model a process image: region 0 = driver glue, region 1 = the
+  Zipf-popular shared utility library, regions 2+ = application modules
+  (phases move between modules, reproducing Figure 5's region hops).
+
+A :class:`WorkloadSpec` fully determines a workload: same spec (and the
+seed inside it) -> bit-identical trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic application.
+
+    Code-shape knobs:
+        n_functions: static function count (drives branch working set).
+        blocks_per_fn_mean: mean basic blocks per function.
+        block_instrs_mean: mean non-branch instructions per basic block.
+        n_regions: address-space regions; >= 3 (glue, utilities, modules).
+        functions_per_page_mean: packing density -- small values make the
+            address space sparse, as the paper observes.
+        page_stride_max: max page gap between consecutive code pages in a
+            region (spatial clustering inside a region).
+
+    Branch-mix knobs (block terminator distribution):
+        loop_fraction / cond_fraction / jump_fraction / call_fraction /
+        ind_call_fraction / ind_jump_fraction: relative weights of each
+        terminator kind.
+        mean_trip_count: geometric mean loop trip count.
+        cond_taken_bias: mean taken probability of forward conditionals.
+        never_taken_fraction: fraction of forward conditionals that are
+            almost never taken (drives the static-taken curve of Fig 3).
+        indirect_fanout: distinct targets per indirect branch site (one
+            dominant receiver plus a tail).
+
+    Dynamics knobs:
+        n_phases: number of hot-set phases the run cycles through.
+        phase_calls: root-function calls per phase before drifting.
+        hot_functions_per_phase: size of each phase's hot root set; the
+            primary footprint (BTB pressure) control.
+        zipf_s: skew of the non-sweep root draws.
+        utility_zipf_s: skew of shared-utility call-target popularity.
+        sweep_fraction: fraction of root picks that follow the
+            round-robin sweep (the capacity-pressure generator).
+        max_call_depth: call-stack cap (deeper calls are flattened).
+        tree_activation_budget / tree_event_budget: per-root call-tree
+            size caps; with the sweep they set the sweep period.
+    """
+
+    name: str
+    category: str
+    seed: int
+    n_events: int = 100_000
+    n_functions: int = 3000
+    blocks_per_fn_mean: float = 12.0
+    block_instrs_mean: float = 5.0
+    n_regions: int = 4
+    functions_per_page_mean: float = 4.5
+    page_stride_max: int = 24
+    loop_fraction: float = 0.25
+    cond_fraction: float = 0.42
+    jump_fraction: float = 0.07
+    call_fraction: float = 0.12
+    ind_call_fraction: float = 0.04
+    ind_jump_fraction: float = 0.03
+    mean_trip_count: float = 7.0
+    cond_taken_bias: float = 0.45
+    never_taken_fraction: float = 0.40
+    indirect_fanout: int = 4
+    n_phases: int = 6
+    phase_calls: int = 4000
+    hot_functions_per_phase: int = 700
+    zipf_s: float = 0.45
+    utility_zipf_s: float = 1.3
+    sweep_fraction: float = 0.8
+    max_call_depth: int = 48
+    tree_activation_budget: int = 6
+    tree_event_budget: int = 20
+
+    def with_events(self, n_events: int) -> "WorkloadSpec":
+        """Copy of this spec with a different trace length."""
+        return replace(self, n_events=n_events)
+
+    def replace(self, **changes) -> "WorkloadSpec":
+        return replace(self, **changes)
+
+
+#: Category-level parameter templates.  Per-app variation is applied on
+#: top of these in :func:`repro.workloads.suite.build_suite`.
+CATEGORY_TEMPLATES: dict[str, WorkloadSpec] = {
+    # Web-scale server code: biggest footprints, many libraries, deep
+    # call chains; hot sets well past the 4K-entry baseline BTB.
+    "Server": WorkloadSpec(
+        name="server-template",
+        category="Server",
+        seed=0,
+        n_functions=4400,
+        n_regions=4,
+        hot_functions_per_phase=850,
+        phase_calls=4000,
+        call_fraction=0.13,
+        ind_call_fraction=0.05,
+        n_phases=8,
+    ),
+    # JITed / interpreted engines: large code, good intra-page locality.
+    "Browser": WorkloadSpec(
+        name="browser-template",
+        category="Browser",
+        seed=0,
+        n_functions=3200,
+        n_regions=4,
+        hot_functions_per_phase=650,
+        phase_calls=3500,
+        blocks_per_fn_mean=13.0,
+        ind_jump_fraction=0.04,
+        n_phases=6,
+    ),
+    # Office-style apps: moderate footprints, loopier code.
+    "BP": WorkloadSpec(
+        name="bp-template",
+        category="BP",
+        seed=0,
+        n_functions=2200,
+        n_regions=4,
+        hot_functions_per_phase=480,
+        phase_calls=3000,
+        loop_fraction=0.28,
+        call_fraction=0.10,
+        ind_call_fraction=0.03,
+        functions_per_page_mean=5.0,
+        n_phases=5,
+    ),
+    # Client apps: smallest of the frontend-bound set.
+    "Personal": WorkloadSpec(
+        name="personal-template",
+        category="Personal",
+        seed=0,
+        n_functions=1800,
+        n_regions=4,
+        hot_functions_per_phase=400,
+        phase_calls=2500,
+        loop_fraction=0.28,
+        call_fraction=0.10,
+        ind_call_fraction=0.03,
+        functions_per_page_mean=5.0,
+        n_phases=5,
+    ),
+}
+
+#: Paper Table 1 application counts per category.
+CATEGORY_COUNTS: dict[str, int] = {
+    "Server": 61,
+    "Browser": 20,
+    "BP": 11,
+    "Personal": 10,
+}

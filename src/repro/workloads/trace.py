@@ -1,0 +1,134 @@
+"""Trace container: the dynamic branch stream a simulation consumes.
+
+A trace is a sequence of :class:`~repro.branch.types.BranchEvent` items
+plus the instruction counts between them.  For speed and compactness the
+events are stored as parallel arrays (column-major); ``events()`` yields
+light-weight tuples and ``branch_events()`` yields full ``BranchEvent``
+objects when the richer API is wanted.
+
+Traces can be persisted to ``.npz`` so characterisation and simulation
+runs share identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.branch.types import BranchEvent, BranchKind
+
+
+@dataclass
+class Trace:
+    """Column-major dynamic branch trace.
+
+    Attributes:
+        name: workload name the trace was generated from.
+        category: workload category label (Server / Browser / BP / Personal).
+        pcs / kinds / takens / targets / gaps: parallel event columns.
+    """
+
+    name: str = "trace"
+    category: str = "uncategorised"
+    pcs: list[int] = field(default_factory=list)
+    kinds: list[int] = field(default_factory=list)
+    takens: list[bool] = field(default_factory=list)
+    targets: list[int] = field(default_factory=list)
+    gaps: list[int] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, pc: int, kind: BranchKind, taken: bool, target: int, gap: int) -> None:
+        self.pcs.append(pc)
+        self.kinds.append(int(kind))
+        self.takens.append(taken)
+        self.targets.append(target)
+        self.gaps.append(gap)
+
+    def truncate(self, length: int) -> None:
+        """Trim the trace to at most ``length`` events."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        del self.pcs[length:]
+        del self.kinds[length:]
+        del self.takens[length:]
+        del self.targets[length:]
+        del self.gaps[length:]
+
+    # -- iteration ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def events(self) -> Iterator[tuple[int, int, bool, int, int]]:
+        """Yield raw ``(pc, kind, taken, target, gap)`` tuples (fast path)."""
+        return zip(self.pcs, self.kinds, self.takens, self.targets, self.gaps)
+
+    def branch_events(self) -> Iterator[BranchEvent]:
+        """Yield full :class:`BranchEvent` objects (convenient path)."""
+        for pc, kind, taken, target, gap in self.events():
+            yield BranchEvent(pc, BranchKind(kind), taken, target, gap)
+
+    # -- aggregate statistics -----------------------------------------------------
+
+    @property
+    def instruction_count(self) -> int:
+        """Total retired instructions: branches plus the gaps between them."""
+        return len(self.pcs) + sum(self.gaps)
+
+    @property
+    def taken_count(self) -> int:
+        return sum(self.takens)
+
+    def dynamic_taken_fraction(self) -> float:
+        """Fraction of dynamic branch instances that are taken (Fig 3)."""
+        if not self.pcs:
+            return 0.0
+        return self.taken_count / len(self.pcs)
+
+    def static_taken_fraction(self) -> float:
+        """Fraction of static branch PCs that are ever taken (Fig 3)."""
+        seen: set[int] = set()
+        taken: set[int] = set()
+        for pc, _, was_taken, _, _ in self.events():
+            seen.add(pc)
+            if was_taken:
+                taken.add(pc)
+        if not seen:
+            return 0.0
+        return len(taken) / len(seen)
+
+    def static_branch_count(self) -> int:
+        return len(set(self.pcs))
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            name=np.array(self.name),
+            category=np.array(self.category),
+            pcs=np.array(self.pcs, dtype=np.uint64),
+            kinds=np.array(self.kinds, dtype=np.uint8),
+            takens=np.array(self.takens, dtype=np.bool_),
+            targets=np.array(self.targets, dtype=np.uint64),
+            gaps=np.array(self.gaps, dtype=np.uint32),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                name=str(data["name"]),
+                category=str(data["category"]),
+                pcs=[int(x) for x in data["pcs"]],
+                kinds=[int(x) for x in data["kinds"]],
+                takens=[bool(x) for x in data["takens"]],
+                targets=[int(x) for x in data["targets"]],
+                gaps=[int(x) for x in data["gaps"]],
+            )

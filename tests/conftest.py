@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.branch.types import BranchEvent, BranchKind
+from repro.workloads.trace import Trace
+
+
+def make_event(
+    pc: int = 0x7F00_0040_1000,
+    kind: BranchKind = BranchKind.COND_DIRECT,
+    taken: bool = True,
+    target: int = 0x7F00_0040_1400,
+    gap: int = 4,
+) -> BranchEvent:
+    """Build a branch event with sensible defaults."""
+    return BranchEvent(pc, kind, taken, target, gap)
+
+
+def make_trace(events: list[tuple[int, BranchKind, bool, int, int]], name: str = "test") -> Trace:
+    """Build a trace from raw tuples."""
+    trace = Trace(name=name)
+    for pc, kind, taken, target, gap in events:
+        trace.append(pc, kind, taken, target, gap)
+    return trace
+
+
+def synthetic_branch_set(
+    count: int,
+    seed: int = 0,
+    base: int = 0x7000_0000_0000,
+    same_page_fraction: float = 0.6,
+) -> list[tuple[int, int]]:
+    """Random (pc, target) pairs with a controlled same-page fraction."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        pc = base + rng.randrange(0, 1 << 24) * 4
+        if rng.random() < same_page_fraction:
+            target = (pc & ~0xFFF) | (rng.randrange(0, 1024) * 4)
+        else:
+            target = base + rng.randrange(0, 1 << 24) * 4
+        pairs.append((pc, target))
+    return pairs
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def loop_trace() -> Trace:
+    """A tight loop plus a call/return pair -- exercises every kind."""
+    loop_pc = 0x1000_1000
+    loop_target = 0x1000_0F00
+    call_pc = 0x1000_1040
+    callee = 0x2000_0000
+    ret_pc = 0x2000_0020
+    events = []
+    for _ in range(50):
+        for _ in range(3):
+            events.append((loop_pc, BranchKind.COND_DIRECT, True, loop_target, 5))
+        events.append((loop_pc, BranchKind.COND_DIRECT, False, loop_pc + 4, 5))
+        events.append((call_pc, BranchKind.CALL_DIRECT, True, callee, 3))
+        events.append((ret_pc, BranchKind.RETURN, True, call_pc + 4, 6))
+    return make_trace(events, name="loop")

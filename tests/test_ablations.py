@@ -1,0 +1,78 @@
+"""Unit tests for the Figure 11a ablation designs."""
+
+import pytest
+
+from repro.core.ablations import DedupOnlyBTB, partition_only_config
+from repro.core.config import PDedeMode
+from repro.core.pdede import PDedeBTB
+
+from conftest import make_event, synthetic_branch_set
+
+
+def test_dedup_only_roundtrip():
+    btb = DedupOnlyBTB(entries=128, ways=4, target_entries=64, target_ways=4)
+    event = make_event()
+    btb.update(event)
+    lookup = btb.lookup(event.pc)
+    assert lookup.hit
+    assert lookup.target == event.target
+    assert lookup.latency == 2  # the indirection always costs a cycle
+
+
+def test_dedup_only_shares_targets():
+    btb = DedupOnlyBTB(entries=128, ways=4, target_entries=64, target_ways=4)
+    shared_target = 0x5000_0000
+    for index in range(10):
+        btb.update(make_event(pc=0x1000_0000 + index * 0x40, target=shared_target))
+    assert btb.targets.occupancy() == 1
+    assert btb.targets.dedup_hits == 9
+
+
+def test_dedup_only_storage_below_equivalent_baseline():
+    """Full-target dedup must actually save bits vs storing 57b per PC."""
+    btb = DedupOnlyBTB()
+    per_pc_baseline = btb.entries * 75  # baseline entry is 75 bits
+    assert btb.storage_bits() < per_pc_baseline
+
+
+def test_dedup_only_thrash_on_many_targets():
+    """A small target table is the design's weakness (why it only buys
+    ~1.6% in the paper): many distinct targets evict each other."""
+    btb = DedupOnlyBTB(entries=512, ways=8, target_entries=32, target_ways=4)
+    pairs = synthetic_branch_set(400, seed=8, same_page_fraction=0.0)
+    for pc, target in pairs:
+        btb.update(make_event(pc=pc, target=target))
+    assert btb.targets.evictions > 0
+    # Re-reading an old branch may now see a stale pointer.
+    stale_before = btb.stale_pointer_reads
+    for pc, target in pairs[:50]:
+        btb.lookup(pc)
+    assert btb.stale_pointer_reads >= stale_before
+
+
+def test_dedup_only_confidence_retrain():
+    btb = DedupOnlyBTB(entries=128, ways=4, target_entries=64, target_ways=4)
+    pc = 0x7000
+    btb.update(make_event(pc=pc, target=0x111000))
+    for _ in range(4):
+        btb.update(make_event(pc=pc, target=0x222000))
+    assert btb.lookup(pc).target == 0x222000
+
+
+def test_dedup_only_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        DedupOnlyBTB(entries=0)
+    with pytest.raises(ValueError):
+        DedupOnlyBTB(entries=100, ways=8)
+
+
+def test_partition_only_config_disables_delta():
+    config = partition_only_config()
+    assert not config.delta_encoding
+    assert config.mode is PDedeMode.DEFAULT
+    btb = PDedeBTB(config)
+    # Same-page branch still consumes page/region entries without delta.
+    pc = 0x7F00_0040_1000
+    btb.update(make_event(pc=pc, target=(pc & ~0xFFF) | 0x800))
+    assert btb.page_btb.occupancy() == 1
+    assert btb.delta_entry_count() == 0

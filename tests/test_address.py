@@ -1,0 +1,99 @@
+"""Unit tests for the 57-bit address partitioning helpers."""
+
+import pytest
+
+from repro.branch.address import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    OFFSET_BITS,
+    PAGE_BITS,
+    PAGE_IN_REGION_BITS,
+    REGION_BITS,
+    REGION_SPAN_PAGES,
+    fold_bits,
+    join_target,
+    page_base,
+    page_distance,
+    page_in_region,
+    page_number,
+    page_offset,
+    region_id,
+    same_page,
+    split_target,
+)
+
+
+def test_field_widths_sum_to_address_width():
+    assert OFFSET_BITS + PAGE_IN_REGION_BITS + REGION_BITS == ADDRESS_BITS
+
+
+def test_region_span_matches_paper_scale():
+    # Regions are clusters separated by >65K pages (Section 3.3).
+    assert REGION_SPAN_PAGES == 65536
+
+
+def test_page_offset_extracts_low_bits():
+    assert page_offset(0xABC123) == 0x123
+    assert page_offset(0xFFF) == 0xFFF
+    assert page_offset(0x1000) == 0
+
+
+def test_page_number_and_base():
+    addr = (0x5A << 12) | 0x7B
+    assert page_number(addr) == 0x5A
+    assert page_base(addr) == 0x5A << 12
+
+
+def test_page_in_region_wraps_at_region_boundary():
+    addr = (REGION_SPAN_PAGES + 3) << OFFSET_BITS
+    assert page_in_region(addr) == 3
+    assert region_id(addr) == 1
+
+
+def test_split_and_join_roundtrip():
+    addr = 0x1ABCDE_FEDCBA9 & ADDRESS_MASK
+    region, page, offset = split_target(addr)
+    assert join_target(region, page, offset) == addr
+
+
+def test_join_target_rejects_oversized_components():
+    with pytest.raises(ValueError):
+        join_target(1 << REGION_BITS, 0, 0)
+    with pytest.raises(ValueError):
+        join_target(0, 1 << PAGE_IN_REGION_BITS, 0)
+    with pytest.raises(ValueError):
+        join_target(0, 0, 1 << OFFSET_BITS)
+
+
+def test_same_page_boundary_conditions():
+    assert same_page(0x1000, 0x1FFF)
+    assert not same_page(0x1FFF, 0x2000)
+    assert same_page(0, 0xFFF)
+
+
+def test_page_distance_signs():
+    assert page_distance(0x1000, 0x3000) == 2
+    assert page_distance(0x3000, 0x1000) == -2
+    assert page_distance(0x1000, 0x1FFF) == 0
+
+
+def test_fold_bits_stays_in_width():
+    for width in (1, 4, 12, 16):
+        for value in (0, 1, 0xDEADBEEF, (1 << 57) - 1):
+            assert 0 <= fold_bits(value, width) < (1 << width)
+
+
+def test_fold_bits_distinguishes_high_bits():
+    # XOR folding must let high address bits influence the result.
+    low = fold_bits(0x0000_0000_1234, 12)
+    high = fold_bits(0x1000_0000_1234, 12)
+    assert low != high
+
+
+def test_fold_bits_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        fold_bits(5, 0)
+
+
+def test_page_bits_value():
+    assert PAGE_BITS == 45

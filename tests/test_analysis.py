@@ -1,0 +1,88 @@
+"""Unit tests for the Section 3 characterisation tools."""
+
+from repro.analysis.characterize import (
+    branch_type_mix,
+    density_stats,
+    distance_stats,
+    runtime_series,
+    taken_stats,
+    uniqueness_stats,
+)
+from repro.branch.types import BranchKind
+
+from conftest import make_trace
+
+PAGE = 0x1000
+
+
+def crafted_trace():
+    """A small trace with known uniqueness/distance structure."""
+    events = [
+        # Two branches sharing one target (dedup candidate).
+        (0x10_0000, BranchKind.COND_DIRECT, True, 0x10_0800, 3),
+        (0x10_0040, BranchKind.COND_DIRECT, True, 0x10_0800, 3),
+        # A different-page jump.
+        (0x10_0080, BranchKind.UNCOND_DIRECT, True, 0x20_0100, 3),
+        # A call and its return (returns excluded from the analyses).
+        (0x10_00C0, BranchKind.CALL_DIRECT, True, 0x30_0000, 3),
+        (0x30_0040, BranchKind.RETURN, True, 0x10_00C4, 3),
+        # A never-taken conditional.
+        (0x10_0100, BranchKind.COND_DIRECT, False, 0x10_0104, 3),
+    ]
+    return make_trace(events, name="crafted")
+
+
+def test_taken_stats():
+    stats = taken_stats(crafted_trace())
+    assert stats.dynamic_taken_fraction == 5 / 6
+    # 6 distinct PCs, 5 ever taken.
+    assert stats.static_taken_fraction == 5 / 6
+
+
+def test_branch_type_mix_excludes_returns():
+    mix = branch_type_mix(crafted_trace())
+    assert "RETURN" not in mix.fractions
+    assert mix.fractions["COND_DIRECT"] == 2 / 4
+    assert mix.fractions["UNCOND_DIRECT"] == 1 / 4
+    assert mix.fractions["CALL_DIRECT"] == 1 / 4
+
+
+def test_branch_type_mix_can_include_returns():
+    mix = branch_type_mix(crafted_trace(), include_returns=True)
+    assert mix.fractions["RETURN"] == 1 / 5
+
+
+def test_uniqueness_counts_dedup():
+    stats = uniqueness_stats(crafted_trace())
+    assert stats.unique_pcs == 4  # taken non-return branches
+    assert stats.unique_targets == 3  # 0x10_0800 shared
+    assert stats.unique_pages == 3
+    assert stats.target_fraction == 3 / 4
+
+
+def test_density_stats():
+    stats = density_stats(crafted_trace())
+    assert stats.targets_per_page == 1.0
+    assert stats.targets_per_region == 3.0  # all in one region
+
+
+def test_distance_stats_buckets():
+    stats = distance_stats(crafted_trace())
+    assert abs(stats.same_page_fraction - 2 / 4) < 1e-9
+    assert abs(sum(stats.buckets.values()) - 1.0) < 1e-9
+    assert stats.by_kind["COND_DIRECT"] == 1.0
+    assert stats.by_kind["CALL_DIRECT"] == 0.0
+
+
+def test_runtime_series_sampling():
+    trace = crafted_trace()
+    series = runtime_series(trace, max_samples=10)
+    assert len(series.regions) == len(series.pages) == len(series.offsets)
+    assert len(series.sample_indices) == 4  # taken non-return events
+    assert series.distinct_regions() >= 1
+
+
+def test_runtime_series_strides_long_traces():
+    events = [(0x100 + i * 8, BranchKind.COND_DIRECT, True, 0x5000, 1) for i in range(1000)]
+    series = runtime_series(make_trace(events), max_samples=100)
+    assert len(series.sample_indices) <= 112  # stride sampling bound

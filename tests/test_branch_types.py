@@ -1,0 +1,48 @@
+"""Unit tests for the branch taxonomy and event records."""
+
+import pytest
+
+from repro.branch.types import BranchEvent, BranchKind
+
+
+def test_kind_classification_matrix():
+    assert BranchKind.COND_DIRECT.is_conditional
+    assert BranchKind.COND_DIRECT.is_direct
+    assert not BranchKind.COND_DIRECT.is_indirect
+    assert BranchKind.UNCOND_DIRECT.is_unconditional
+    assert BranchKind.UNCOND_DIRECT.is_direct
+    assert BranchKind.CALL_DIRECT.is_call
+    assert BranchKind.CALL_DIRECT.is_direct
+    assert BranchKind.CALL_INDIRECT.is_call
+    assert BranchKind.CALL_INDIRECT.is_indirect
+    assert BranchKind.UNCOND_INDIRECT.is_indirect
+    assert not BranchKind.UNCOND_INDIRECT.is_call
+    assert BranchKind.RETURN.is_return
+    assert not BranchKind.RETURN.is_direct
+
+
+def test_only_conditionals_can_fall_through():
+    conditional = [k for k in BranchKind if k.is_conditional]
+    assert conditional == [BranchKind.COND_DIRECT]
+
+
+def test_event_rejects_not_taken_unconditional():
+    with pytest.raises(ValueError):
+        BranchEvent(0x100, BranchKind.UNCOND_DIRECT, False, 0x200, 1)
+    with pytest.raises(ValueError):
+        BranchEvent(0x100, BranchKind.RETURN, False, 0x200, 1)
+
+
+def test_event_rejects_negative_gap():
+    with pytest.raises(ValueError):
+        BranchEvent(0x100, BranchKind.COND_DIRECT, True, 0x200, -1)
+
+
+def test_event_fall_through():
+    event = BranchEvent(0x100, BranchKind.COND_DIRECT, False, 0x104, 0)
+    assert event.fall_through == 0x104
+
+
+def test_not_taken_conditional_is_legal():
+    event = BranchEvent(0x100, BranchKind.COND_DIRECT, False, 0x104, 2)
+    assert not event.taken

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_apps(capsys):
+    assert main(["--scale", "tiny", "list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "server_oltp_00" in out
+    assert "personal_animation" in out
+
+
+def test_characterize(capsys):
+    assert main(["--scale", "tiny", "characterize", "server_oltp_00"]) == 0
+    out = capsys.readouterr().out
+    assert "taken:" in out
+    assert "same-page:" in out
+
+
+def test_simulate(capsys):
+    assert main(["--scale", "tiny", "simulate", "server_oltp_00", "baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "BTB MPKI" in out
+
+
+def test_simulate_unknown_design(capsys):
+    assert main(["--scale", "tiny", "simulate", "server_oltp_00", "nonsense"]) == 2
+    assert "unknown design" in capsys.readouterr().err
+
+
+def test_experiment_tab2(capsys):
+    assert main(["--scale", "tiny", "experiment", "tab2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["--scale", "tiny", "experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_parser_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--scale", "galactic", "list-apps"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

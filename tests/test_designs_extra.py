@@ -1,0 +1,43 @@
+"""Extra coverage for the design registry additions."""
+
+from repro.btb.ghrp import GhrpBTB
+from repro.btb.prefetch import TemporalPrefetchBTB
+from repro.core.multitag import MultiTagPartitionedBTB
+from repro.experiments.designs import (
+    baseline_design,
+    ghrp_design,
+    multitag_design,
+    with_temporal_prefetch,
+)
+
+
+def test_ghrp_design_builds():
+    design = ghrp_design()
+    assert design.key == "ghrp-4096"
+    btb, kwargs = design.build()
+    assert isinstance(btb, GhrpBTB)
+    assert kwargs == {}
+
+
+def test_multitag_design_builds():
+    btb, _ = multitag_design().build()
+    assert isinstance(btb, MultiTagPartitionedBTB)
+
+
+def test_prefetch_wrapper_design():
+    wrapped = with_temporal_prefetch(baseline_design(), group_size=4)
+    assert wrapped.key == "baseline-4096+prefetch"
+    btb, _ = wrapped.build()
+    assert isinstance(btb, TemporalPrefetchBTB)
+    assert btb.group_size == 4
+    # Fresh inner instance per build.
+    other, _ = wrapped.build()
+    assert other.inner is not btb.inner
+
+
+def test_prefetch_wrapper_preserves_simulator_kwargs():
+    from repro.experiments.designs import with_perfect_direction
+
+    base = with_perfect_direction(baseline_design())
+    wrapped = with_temporal_prefetch(base)
+    assert wrapped.simulator_kwargs()["direction"].is_perfect

@@ -1,0 +1,63 @@
+"""Tests for the first-order SRAM energy model."""
+
+import pytest
+
+from repro.core.config import PDedeMode, paper_config
+from repro.storage.energy import (
+    access_energy,
+    baseline_energy,
+    leakage_power,
+    pdede_energy,
+)
+
+_BASELINE_BITS = 4096 * 75
+
+
+def test_baseline_normalisation():
+    assert access_energy(_BASELINE_BITS) == pytest.approx(1.0)
+    assert leakage_power(_BASELINE_BITS) == pytest.approx(1.0)
+
+
+def test_scaling_laws():
+    # Dynamic energy ~ sqrt(capacity); leakage ~ capacity.
+    assert access_energy(4 * _BASELINE_BITS) == pytest.approx(2.0)
+    assert leakage_power(4 * _BASELINE_BITS) == pytest.approx(4.0)
+
+
+def test_baseline_estimate():
+    estimate = baseline_energy(lookups=1000)
+    assert estimate.dynamic_energy == pytest.approx(1000.0)
+    assert estimate.energy_per_access == pytest.approx(1.0)
+
+
+def test_pdede_delta_path_saves_energy():
+    """Delta-path lookups touch only the (smaller) BTBM: cheaper reads."""
+    config = paper_config(PDedeMode.DEFAULT)
+    all_delta = pdede_energy(config, lookups=1000, pointer_lookups=0)
+    baseline = baseline_energy(lookups=1000)
+    assert all_delta.energy_per_access < baseline.energy_per_access
+
+
+def test_pointer_path_costs_more_than_delta_path():
+    config = paper_config(PDedeMode.DEFAULT)
+    no_pointers = pdede_energy(config, lookups=1000, pointer_lookups=0)
+    all_pointers = pdede_energy(config, lookups=1000, pointer_lookups=1000)
+    assert all_pointers.dynamic_energy > no_pointers.dynamic_energy
+
+
+def test_iso_mpki_config_saves_leakage():
+    """Figure 12c's energy angle: the 19KB-class config leaks ~half."""
+    small = paper_config(PDedeMode.MULTI_ENTRY).replace(
+        btbm_entries=4096, page_entries=512
+    )
+    estimate = pdede_energy(small, lookups=1, pointer_lookups=0)
+    assert estimate.leakage < 0.6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        access_energy(0)
+    with pytest.raises(ValueError):
+        leakage_power(-5)
+    with pytest.raises(ValueError):
+        pdede_energy(paper_config(PDedeMode.DEFAULT), lookups=1, pointer_lookups=2)

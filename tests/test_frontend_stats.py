@@ -1,0 +1,53 @@
+"""Unit tests for the Top-Down cycle accounting."""
+
+from repro.frontend.stats import FrontendStats
+
+
+def make_stats(**overrides) -> FrontendStats:
+    stats = FrontendStats(
+        instructions=10_000,
+        cycles=5_000.0,
+        base_cycles=2_000.0,
+        icache_stall_cycles=1_000.0,
+        btb_bubble_cycles=100.0,
+        btb_resteer_cycles=900.0,
+        bad_speculation_cycles=1_000.0,
+        btb_misses=50,
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def test_ipc():
+    assert make_stats().ipc == 2.0
+
+
+def test_mpki():
+    assert make_stats().btb_mpki == 5.0
+
+
+def test_frontend_fractions():
+    stats = make_stats()
+    assert stats.frontend_stall_cycles == 2_000.0
+    assert stats.frontend_bound_fraction == 0.4
+    assert stats.btb_resteer_share_of_frontend == 0.5
+    assert stats.bad_speculation_fraction == 0.2
+
+
+def test_speedup_and_reduction():
+    fast = make_stats(cycles=4_000.0)
+    slow = make_stats()
+    assert fast.speedup_over(slow) == 1.25
+    better = make_stats(btb_misses=25)
+    assert better.mpki_reduction_vs(slow) == 0.5
+
+
+def test_zero_division_guards():
+    empty = FrontendStats()
+    assert empty.ipc == 0.0
+    assert empty.btb_mpki == 0.0
+    assert empty.frontend_bound_fraction == 0.0
+    assert empty.btb_resteer_share_of_frontend == 0.0
+    assert empty.speedup_over(empty) == 0.0
+    assert empty.mpki_reduction_vs(empty) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the GHRP-style predictive-replacement BTB."""
+
+import pytest
+
+from repro.branch.types import BranchKind
+from repro.btb.baseline import BaselineBTB
+from repro.btb.ghrp import GhrpBTB
+
+from conftest import make_event
+
+
+def test_behaves_like_baseline_functionally():
+    btb = GhrpBTB(entries=256, ways=4)
+    event = make_event()
+    btb.update(event)
+    lookup = btb.lookup(event.pc)
+    assert lookup.hit
+    assert lookup.target == event.target
+
+
+def test_storage_includes_predictor_table():
+    plain = BaselineBTB(entries=256, ways=4)
+    ghrp = GhrpBTB(entries=256, ways=4, predictor_entries=1024)
+    assert ghrp.storage_bits() == plain.storage_bits() + 2 * 1024
+
+
+def test_dead_counters_train_on_unreferenced_eviction():
+    btb = GhrpBTB(entries=8, ways=2, predictor_entries=256)
+    # Stream of one-shot branches: inserted, never re-referenced, evicted.
+    for index in range(200):
+        pc = 0x1000_0000 + index * 0x40
+        btb.update(make_event(pc=pc, kind=BranchKind.UNCOND_DIRECT, target=pc + 0x800))
+    assert max(btb._dead_counters) > 0
+
+
+def test_predictive_victims_protect_hot_entries():
+    """A hot, re-referenced entry should survive a one-shot stream that
+    would evict it under plain SRRIP."""
+    ghrp = GhrpBTB(entries=64, ways=4, predictor_entries=4096)
+    plain = BaselineBTB(entries=64, ways=4)
+    hot = make_event(pc=0x5000_0000, kind=BranchKind.UNCOND_DIRECT, target=0x5000_0800)
+
+    def drive(btb):
+        hits = 0
+        for round_index in range(120):
+            lookup = btb.lookup(hot.pc)
+            if lookup.hit:
+                hits += 1
+            btb.update(hot)
+            # A burst of one-shot branches between hot re-references.
+            for burst in range(12):
+                pc = 0x9000_0000 + (round_index * 12 + burst) * 0x40
+                btb.update(make_event(pc=pc, kind=BranchKind.UNCOND_DIRECT,
+                                      target=pc + 0x800))
+        return hits
+
+    assert drive(ghrp) >= drive(plain)
+
+
+def test_one_shot_stream_miss_rate_not_worse():
+    """GHRP must never be functionally wrong, only differently managed."""
+    ghrp = GhrpBTB(entries=64, ways=4)
+    for index in range(500):
+        pc = 0x1000_0000 + (index % 100) * 0x40
+        event = make_event(pc=pc, kind=BranchKind.UNCOND_DIRECT, target=pc + 0x800)
+        lookup = ghrp.lookup(event.pc)
+        ghrp.stats.record_outcome(event, lookup)
+        ghrp.update(event)
+    assert ghrp.stats.hits > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GhrpBTB(entries=64, ways=4, predictor_entries=1000)

@@ -1,0 +1,59 @@
+"""Statistical checks on the PC hash (the 'good hashing' assumption).
+
+The paper waves at "a good hashing technique" to keep 12-bit-tag
+aliasing resteers negligible; these tests pin down what that means for
+the structured addresses our layouts produce.
+"""
+
+from repro.branch.address import hash_pc, mix64
+from repro.workloads.layout import CodeLayout
+from repro.workloads.suite import build_suite
+
+
+def test_mix64_is_deterministic_and_bounded():
+    assert mix64(12345) == mix64(12345)
+    assert 0 <= mix64(2**57 - 1) < 2**64
+
+
+def test_mix64_avalanche():
+    """Flipping one input bit should flip ~half the output bits."""
+    flips = []
+    for bit in range(0, 57, 7):
+        a = mix64(0x1234_5678_9ABC)
+        b = mix64(0x1234_5678_9ABC ^ (1 << bit))
+        flips.append(bin(a ^ b).count("1"))
+    average = sum(flips) / len(flips)
+    assert 20 <= average <= 44  # ideal 32, generous band
+
+
+def test_index_tag_joint_collisions_are_rare_on_real_layouts():
+    """The failure mode the hash exists to prevent: two live branch PCs
+    agreeing on both set index and 12-bit tag."""
+    spec = build_suite("tiny")[0]
+    layout = CodeLayout(spec)
+    pcs = layout.static_branch_pcs()
+    keys = {}
+    collisions = 0
+    for pc in pcs:
+        hashed = hash_pc(pc)
+        key = (hashed & 511, (hashed >> 40) & 0xFFF)
+        if key in keys and keys[key] != pc:
+            collisions += 1
+        keys[key] = pc
+    # With N branches over 512 sets x 4096 tags, expected collisions are
+    # ~N^2 / (2 * 512 * 4096); allow 4x slack over the birthday bound.
+    expected = len(pcs) ** 2 / (2 * 512 * 4096)
+    assert collisions <= max(8, 4 * expected)
+
+
+def test_index_distribution_is_balanced():
+    """No set should receive a pathological share of a layout's PCs."""
+    spec = build_suite("tiny")[0]
+    layout = CodeLayout(spec)
+    pcs = layout.static_branch_pcs()
+    sets = 512
+    counts = [0] * sets
+    for pc in pcs:
+        counts[hash_pc(pc) & (sets - 1)] += 1
+    mean = len(pcs) / sets
+    assert max(counts) < mean * 3

@@ -1,0 +1,52 @@
+"""Unit tests for the instruction-cache model."""
+
+import pytest
+
+from repro.frontend.icache import ICache
+
+
+def test_first_touch_misses_then_hits():
+    cache = ICache(size_kib=4, line_bytes=64, ways=4)
+    assert cache.touch_range(0x1000, 0x1010) == 1
+    assert cache.touch_range(0x1000, 0x1010) == 0
+
+
+def test_range_spanning_lines():
+    cache = ICache(size_kib=4, line_bytes=64, ways=4)
+    # 0x1000..0x10FF covers 4 lines of 64 bytes.
+    assert cache.touch_range(0x1000, 0x10FF) == 4
+
+
+def test_lru_eviction_within_set():
+    cache = ICache(size_kib=1, line_bytes=64, ways=2)  # 8 sets x 2 ways
+    sets = cache.sets
+    base_line = 0
+    conflicting = [
+        (base_line + k * sets) * 64 for k in range(3)
+    ]  # three lines mapping to set 0
+    for addr in conflicting:
+        cache.touch_line(addr // 64)
+    # The first line was evicted by the third.
+    assert cache.touch_line(conflicting[0] // 64) is False
+
+
+def test_miss_rate_accounting():
+    cache = ICache(size_kib=4, line_bytes=64, ways=4)
+    cache.touch_range(0x0, 0x3F)
+    cache.touch_range(0x0, 0x3F)
+    assert cache.accesses == 2
+    assert cache.misses == 1
+    assert cache.miss_rate == 0.5
+
+
+def test_degenerate_range():
+    cache = ICache()
+    # end < start is clamped (a zero-length block still fetches its line).
+    assert cache.touch_range(0x1000, 0x900) == 1
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        ICache(size_kib=0)
+    with pytest.raises(ValueError):
+        ICache(size_kib=1, line_bytes=64, ways=3)

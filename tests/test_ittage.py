@@ -1,0 +1,65 @@
+"""Unit tests for the ITTAGE indirect-target predictor."""
+
+import pytest
+
+from repro.btb.ittage import ITTagePredictor
+
+
+def test_untrained_returns_none():
+    predictor = ITTagePredictor()
+    assert predictor.predict(0x1234) is None
+
+
+def test_learns_monomorphic_site():
+    predictor = ITTagePredictor()
+    pc, target = 0x1000, 0xAA000
+    for _ in range(4):
+        predictor.update(pc, target)
+    assert predictor.predict(pc) == target
+
+
+def test_learns_history_correlated_targets():
+    """The point of ITTAGE: same PC, history-dependent targets."""
+    predictor = ITTagePredictor()
+    pc = 0x2000
+    # Two contexts: distinct branch-outcome prefixes before each target
+    # (the outcomes differ, so the folded history bits differ).
+    contexts = {
+        (True, True, False, True): 0xAAA000,
+        (False, False, True, False): 0xBBB000,
+    }
+    def replay(prefix):
+        for position, taken in enumerate(prefix):
+            predictor.record_history(0x10 + position * 4, taken)
+    for _ in range(300):
+        for prefix, target in contexts.items():
+            replay(prefix)
+            predictor.update(pc, target)
+    correct = 0
+    trials = 0
+    for _ in range(50):
+        for prefix, target in contexts.items():
+            replay(prefix)
+            trials += 1
+            if predictor.predict(pc) == target:
+                correct += 1
+            predictor.update(pc, target)
+    assert correct / trials > 0.8
+
+
+def test_misprediction_rate_tracks_quality():
+    predictor = ITTagePredictor()
+    pc = 0x3000
+    for index in range(50):
+        predictor.update(pc, 0xAAA000)
+    assert predictor.misprediction_rate < 0.2
+
+
+def test_storage_is_64kb_class():
+    bits = ITTagePredictor().storage_bits()
+    assert 40 * 8192 <= bits <= 80 * 8192  # 40-80 KiB
+
+
+def test_rejects_non_power_of_two_tables():
+    with pytest.raises(ValueError):
+        ITTagePredictor(base_entries=1000)

@@ -1,0 +1,48 @@
+"""Unit tests for core parameters and pipeline scaling."""
+
+import pytest
+
+from repro.frontend.params import CoreParams, ICELAKE
+
+
+def test_icelake_defaults_sane():
+    assert ICELAKE.fetch_width >= ICELAKE.commit_width
+    assert ICELAKE.execute_resteer_cycles > ICELAKE.decode_resteer_cycles
+    assert ICELAKE.fetch_queue_entries == 64
+
+
+def test_scaled_pipeline_widens_and_deepens():
+    scaled = ICELAKE.scaled_pipeline(2.0)
+    assert scaled.fetch_width == ICELAKE.fetch_width * 2
+    assert scaled.commit_width == ICELAKE.commit_width * 2
+    assert scaled.fetch_queue_entries == ICELAKE.fetch_queue_entries * 2
+    assert scaled.decode_resteer_cycles == ICELAKE.decode_resteer_cycles * 2
+    assert scaled.execute_resteer_cycles == ICELAKE.execute_resteer_cycles * 2
+
+
+def test_scaled_pipeline_identity():
+    assert ICELAKE.scaled_pipeline(1.0) == ICELAKE
+
+
+def test_with_fetch_queue():
+    sized = ICELAKE.with_fetch_queue(128)
+    assert sized.fetch_queue_entries == 128
+    assert sized.fetch_width == ICELAKE.fetch_width
+
+
+def test_max_slack():
+    params = CoreParams(fetch_width=6, commit_width=5, fetch_queue_entries=50)
+    assert params.max_slack_cycles == 10
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CoreParams(fetch_width=0)
+    with pytest.raises(ValueError):
+        CoreParams(fetch_width=4, commit_width=5)
+    with pytest.raises(ValueError):
+        CoreParams(fetch_queue_entries=0)
+
+
+def test_params_hashable_for_result_caching():
+    assert hash(ICELAKE) == hash(CoreParams())

@@ -1,0 +1,77 @@
+"""Unit tests for PDede configuration and Table 2 storage math."""
+
+import pytest
+
+from repro.core.config import PDedeConfig, PDedeMode, paper_config
+
+
+def test_paper_configs_are_iso_storage_class():
+    """Every paper config must stay within ~2% of the 37.5 KiB baseline."""
+    baseline_kib = 37.5
+    for mode in PDedeMode:
+        config = paper_config(mode)
+        assert config.storage_kib() <= baseline_kib * 1.03, mode
+
+
+def test_multi_entry_tracks_twice_the_baseline_branches():
+    config = paper_config(PDedeMode.MULTI_ENTRY)
+    assert config.btbm_entries == 2 * 4096
+
+
+def test_default_entry_bit_budget():
+    config = PDedeConfig()
+    # pid 1 + tag 12 + delta 1 + srrip 2 + conf 2 + offset 12 + ptr 10 + ptr 2
+    assert config.btbm_long_entry_bits() == 42
+    assert config.btbm_short_entry_bits() == 30
+
+
+def test_multi_target_costs_one_extra_bit():
+    default = paper_config(PDedeMode.DEFAULT)
+    multi_target = paper_config(PDedeMode.MULTI_TARGET)
+    assert multi_target.btbm_long_entry_bits() == default.btbm_long_entry_bits() + 1
+
+
+def test_multi_entry_mixes_entry_sizes():
+    config = paper_config(PDedeMode.MULTI_ENTRY)
+    half = config.btbm_entries // 2
+    expected = half * config.btbm_long_entry_bits() + half * config.btbm_short_entry_bits()
+    assert config.btbm_bits() == expected
+
+
+def test_pointer_widths_follow_table_sizes():
+    config = PDedeConfig(page_entries=1024, region_entries=4)
+    assert config.page_ptr_bits == 10
+    assert config.region_ptr_bits == 2
+
+
+def test_scaled_configuration():
+    config = paper_config(PDedeMode.MULTI_ENTRY).scaled(2)
+    assert config.btbm_entries == 16384
+    assert config.page_entries == 2048
+
+
+def test_replace_returns_new_config():
+    config = PDedeConfig()
+    other = config.replace(tag_bits=10)
+    assert other.tag_bits == 10
+    assert config.tag_bits == 12
+
+
+def test_validation_rules():
+    with pytest.raises(ValueError):
+        PDedeConfig(btbm_entries=0)
+    with pytest.raises(ValueError):
+        PDedeConfig(btbm_entries=100, btbm_ways=8)
+    with pytest.raises(ValueError):
+        PDedeConfig(mode=PDedeMode.MULTI_ENTRY, btbm_ways=7)
+    with pytest.raises(ValueError):
+        PDedeConfig(mode=PDedeMode.MULTI_TARGET, delta_encoding=False)
+
+
+def test_storage_components_positive():
+    config = paper_config(PDedeMode.DEFAULT)
+    assert config.page_btb_bits() == 1024 * (16 + 2)
+    assert config.region_btb_bits() == 4 * (29 + 2)
+    assert config.storage_bits() == (
+        config.btbm_bits() + config.page_btb_bits() + config.region_btb_bits()
+    )

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.branch.address import (
+    ADDRESS_MASK,
+    OFFSET_BITS,
+    PAGE_IN_REGION_BITS,
+    REGION_BITS,
+    fold_bits,
+    join_target,
+    page_distance,
+    same_page,
+    split_target,
+)
+from repro.branch.types import BranchEvent, BranchKind
+from repro.btb.baseline import BaselineBTB
+from repro.btb.ras import ReturnAddressStack
+from repro.btb.replacement import make_replacement_policy
+from repro.core.config import PDedeConfig
+from repro.core.pdede import PDedeBTB
+from repro.core.tables import DedupValueTable
+
+addresses = st.integers(min_value=0, max_value=ADDRESS_MASK)
+small_addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+@given(addresses)
+def test_split_join_roundtrip(addr):
+    region, page, offset = split_target(addr)
+    assert join_target(region, page, offset) == addr
+    assert 0 <= region < (1 << REGION_BITS)
+    assert 0 <= page < (1 << PAGE_IN_REGION_BITS)
+    assert 0 <= offset < (1 << OFFSET_BITS)
+
+
+@given(addresses, addresses)
+def test_same_page_iff_zero_distance(a, b):
+    assert same_page(a, b) == (page_distance(a, b) == 0)
+
+
+@given(addresses, st.integers(min_value=1, max_value=32))
+def test_fold_bits_width_bound(value, width):
+    assert 0 <= fold_bits(value, width) < (1 << width)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+def test_ras_is_bounded_lifo(pushes):
+    """The RAS pops the most recent min(len, depth) pushes, in reverse."""
+    depth = 8
+    ras = ReturnAddressStack(depth=depth)
+    for value in pushes:
+        ras.push(value)
+    expected = list(reversed(pushes[-depth:]))
+    popped = [ras.pop() for _ in range(len(expected))]
+    assert popped == expected
+    assert ras.pop() is None or len(pushes) > depth
+
+
+@given(
+    st.sampled_from(["lru", "fifo", "random", "srrip"]),
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=0, max_value=7), max_size=50),
+)
+def test_replacement_victim_always_legal(policy_name, ways, touches):
+    policy = make_replacement_policy(policy_name, ways)
+    valid = [False] * ways
+    for touch in touches:
+        way = touch % ways
+        if valid[way]:
+            policy.on_hit(way)
+        else:
+            valid[way] = True
+            policy.on_insert(way)
+        victim = policy.victim(valid)
+        assert 0 <= victim < ways
+        # Invalid ways must be preferred while any exist.
+        if not all(valid):
+            assert not valid[victim]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), min_size=1, max_size=200))
+def test_dedup_table_read_returns_last_allocated_value(values):
+    table = DedupValueTable(entries=16, ways=4, value_bits=16)
+    for value in values:
+        pointer, generation = table.allocate(value)
+        assert table.read(pointer) == value
+        assert not table.is_stale(pointer, generation)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), min_size=1, max_size=100))
+def test_dedup_table_never_stores_value_twice(values):
+    table = DedupValueTable(entries=64, ways=4, value_bits=16)
+    for value in values:
+        table.allocate(value)
+    stored = []
+    for set_index in range(table.sets):
+        for way in range(table.ways):
+            if table._valid[set_index][way]:
+                stored.append(table._values[set_index][way])
+    assert len(stored) == len(set(stored))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(small_addresses, small_addresses), min_size=1, max_size=120))
+def test_baseline_btb_update_then_lookup_consistent(pairs):
+    """Immediately after a taken update, the BTB predicts that target
+    (a matching tag must return the just-trained target)."""
+    btb = BaselineBTB(entries=64, ways=4)
+    for pc, target in pairs:
+        event = BranchEvent(pc, BranchKind.UNCOND_DIRECT, True, target, 0)
+        btb.update(event)
+        lookup = btb.lookup(pc)
+        assert lookup.hit
+        # Confidence may protect an older target for an aliased PC, but
+        # for the *same* PC trained twice the newest prevails eventually.
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(small_addresses, small_addresses), min_size=1, max_size=120),
+    st.sampled_from(["default", "multi_target", "multi_entry"]),
+)
+def test_pdede_occupancy_and_latency_invariants(pairs, mode_value):
+    from repro.core.config import PDedeMode
+
+    config = PDedeConfig(
+        btbm_entries=128, btbm_ways=8, page_entries=32, page_ways=4,
+        region_entries=4, mode=PDedeMode(mode_value),
+    )
+    btb = PDedeBTB(config)
+    for pc, target in pairs:
+        event = BranchEvent(pc, BranchKind.UNCOND_DIRECT, True, target, 0)
+        btb.update(event)
+        lookup = btb.lookup(pc)
+        if lookup.hit:
+            assert lookup.latency in (1, 2)
+            if same_page(pc, target) and lookup.provider == "btbm-delta":
+                assert lookup.latency == 1
+    assert btb.occupancy() <= config.btbm_entries
+    assert btb.page_btb.occupancy() <= config.page_entries
+    assert btb.region_btb.occupancy() <= config.region_entries
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_generator_invariants_hold_for_any_seed(seed):
+    from repro.branch.types import BranchKind
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name="prop", category="Server", seed=seed, n_events=600,
+        n_functions=120, hot_functions_per_phase=30, phase_calls=50,
+        n_regions=4,
+    )
+    trace = generate_trace(spec)
+    assert len(trace) == 600
+    stack = []
+    for pc, kind, taken, target, gap in trace.events():
+        kind = BranchKind(kind)
+        assert gap >= 0
+        if kind.is_unconditional:
+            assert taken
+        if not taken:
+            assert target == pc + 4
+        if kind.is_call and taken:
+            stack.append(pc + 4)
+        if kind.is_return:
+            assert stack and stack.pop() == target

@@ -1,0 +1,64 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+
+from repro.btb.ras import ReturnAddressStack
+
+
+def test_lifo_order():
+    ras = ReturnAddressStack(depth=8)
+    for addr in (0x100, 0x200, 0x300):
+        ras.push(addr)
+    assert ras.pop() == 0x300
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_underflow_returns_none_and_counts():
+    ras = ReturnAddressStack(depth=4)
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_overflow_overwrites_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(0x1)
+    ras.push(0x2)
+    ras.push(0x3)  # overwrites 0x1
+    assert ras.overflows == 1
+    assert ras.pop() == 0x3
+    assert ras.pop() == 0x2
+    assert ras.pop() is None  # 0x1 was lost
+
+
+def test_peek_does_not_pop():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0xAB)
+    assert ras.peek() == 0xAB
+    assert len(ras) == 1
+    assert ras.pop() == 0xAB
+
+
+def test_deep_recursion_degrades_gracefully():
+    """Past the depth, the oldest frames' returns become mispredictable."""
+    ras = ReturnAddressStack(depth=16)
+    addresses = list(range(0x1000, 0x1000 + 32 * 4, 4))
+    for addr in addresses:
+        ras.push(addr)
+    correct = sum(1 for addr in reversed(addresses) if ras.pop() == addr)
+    assert correct == 16
+
+
+def test_clear_and_len():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(1)
+    ras.push(2)
+    ras.clear()
+    assert len(ras) == 0
+    assert ras.pop() is None
+
+
+def test_storage_and_validation():
+    assert ReturnAddressStack(depth=32).storage_bits() == 32 * 57
+    with pytest.raises(ValueError):
+        ReturnAddressStack(depth=0)

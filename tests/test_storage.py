@@ -1,0 +1,85 @@
+"""Unit tests for storage accounting and the CACTI-fit latency model."""
+
+import pytest
+
+from repro.btb.baseline import BaselineBTB
+from repro.core.config import PDedeMode, paper_config
+from repro.storage.bits import (
+    baseline_storage_row,
+    pdede_storage_row,
+    storage_table,
+    verify_design_storage,
+)
+from repro.storage.cacti import access_cycles, access_time_ns, serial_access_time_ns
+
+
+def test_baseline_row_matches_figure2_fields():
+    row = baseline_storage_row()
+    assert row.total_bits == 4096 * 75
+    assert row.total_kib == 37.5
+    assert set(row.components) == {"pid", "tags", "targets", "srrip", "confidence"}
+
+
+def test_pdede_row_components():
+    row = pdede_storage_row(paper_config(PDedeMode.DEFAULT))
+    assert set(row.components) == {"btbm", "page-btb", "region-btb"}
+    assert row.total_bits == paper_config(PDedeMode.DEFAULT).storage_bits()
+
+
+def test_storage_table_has_all_designs():
+    rows = storage_table()
+    names = [row.name for row in rows]
+    assert names[0] == "Baseline BTB"
+    assert len(rows) == 4
+
+
+def test_verify_design_storage_consistency():
+    assert verify_design_storage(BaselineBTB()) == 4096 * 75
+
+
+# -- CACTI fit -----------------------------------------------------------------
+
+_BASELINE_BITS = 4096 * 75
+
+
+def test_fit_reproduces_table4_baseline_point():
+    # Paper: 0.24 ns at 1 port, 0.72 ns at 6 ports.
+    assert access_time_ns(_BASELINE_BITS, 1) == pytest.approx(0.24, abs=0.02)
+    assert access_time_ns(_BASELINE_BITS, 6) == pytest.approx(0.72, abs=0.08)
+
+
+def test_fit_reproduces_table4_page_btb_point():
+    page_bits = paper_config(PDedeMode.DEFAULT).page_btb_bits()
+    assert access_time_ns(page_bits, 1) == pytest.approx(0.09, abs=0.02)
+    assert access_time_ns(page_bits, 6) == pytest.approx(0.16, abs=0.04)
+
+
+def test_latency_monotonic_in_capacity_and_ports():
+    small = access_time_ns(8 * 8192, 1)
+    large = access_time_ns(64 * 8192, 1)
+    assert large > small
+    assert access_time_ns(_BASELINE_BITS, 6) > access_time_ns(_BASELINE_BITS, 1)
+
+
+def test_pdede_serial_chain_is_one_extra_cycle_class():
+    """Table 4's conclusion: the chain costs ~1 extra cycle at 3.9 GHz."""
+    config = paper_config(PDedeMode.DEFAULT)
+    baseline_cycles = access_cycles(_BASELINE_BITS, 1)
+    chain_ns = serial_access_time_ns([config.btbm_bits(), config.page_btb_bits()], 1)
+    chain_cycles = max(1, -(-int(chain_ns * 3.9 * 1000) // 1000))
+    assert chain_cycles <= baseline_cycles + 1
+
+
+def test_btbm_alone_is_not_slower_than_baseline():
+    """Paper: the BTBM (smaller than the baseline BTB) reads faster, so
+    delta-path lookups carry no latency penalty."""
+    config = paper_config(PDedeMode.DEFAULT)
+    assert access_time_ns(config.btbm_bits(), 1) <= access_time_ns(_BASELINE_BITS, 1)
+    assert access_time_ns(config.btbm_bits(), 6) <= access_time_ns(_BASELINE_BITS, 6)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        access_time_ns(0)
+    with pytest.raises(ValueError):
+        access_time_ns(100, 0)

@@ -1,0 +1,71 @@
+"""Unit tests for the Trace container."""
+
+from pathlib import Path
+
+from repro.branch.types import BranchKind
+from repro.workloads.trace import Trace
+
+from conftest import make_trace
+
+
+def test_append_and_len():
+    trace = Trace()
+    trace.append(0x100, BranchKind.COND_DIRECT, True, 0x200, 5)
+    assert len(trace) == 1
+
+
+def test_instruction_count_includes_branches():
+    trace = make_trace([
+        (0x100, BranchKind.COND_DIRECT, True, 0x200, 5),
+        (0x200, BranchKind.UNCOND_DIRECT, True, 0x300, 3),
+    ])
+    assert trace.instruction_count == 2 + 5 + 3
+
+
+def test_taken_fractions():
+    trace = make_trace([
+        (0x100, BranchKind.COND_DIRECT, True, 0x200, 1),
+        (0x100, BranchKind.COND_DIRECT, False, 0x104, 1),
+        (0x300, BranchKind.COND_DIRECT, False, 0x304, 1),
+    ])
+    assert trace.dynamic_taken_fraction() == 1 / 3
+    # PC 0x100 was taken at least once; 0x300 never -> 1/2 static.
+    assert trace.static_taken_fraction() == 0.5
+    assert trace.static_branch_count() == 2
+
+
+def test_branch_events_roundtrip():
+    trace = make_trace([(0x100, BranchKind.CALL_DIRECT, True, 0x900, 7)])
+    event = next(trace.branch_events())
+    assert event.pc == 0x100
+    assert event.kind is BranchKind.CALL_DIRECT
+    assert event.target == 0x900
+    assert event.instr_gap == 7
+
+
+def test_save_load_roundtrip(tmp_path: Path):
+    trace = make_trace(
+        [
+            (0x7F00_0000_1000, BranchKind.COND_DIRECT, True, 0x7F00_0000_1400, 5),
+            (0x7F00_0000_1400, BranchKind.RETURN, True, 0x7F00_0000_1004, 2),
+        ],
+        name="roundtrip",
+    )
+    trace.category = "Server"
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.name == "roundtrip"
+    assert loaded.category == "Server"
+    assert loaded.pcs == trace.pcs
+    assert loaded.kinds == trace.kinds
+    assert loaded.takens == trace.takens
+    assert loaded.targets == trace.targets
+    assert loaded.gaps == trace.gaps
+
+
+def test_empty_trace_statistics():
+    trace = Trace()
+    assert trace.dynamic_taken_fraction() == 0.0
+    assert trace.static_taken_fraction() == 0.0
+    assert trace.instruction_count == 0

@@ -1,0 +1,40 @@
+"""Additional Trace behaviours: truncation, suite helpers."""
+
+import pytest
+
+from repro.branch.types import BranchKind
+from repro.workloads.suite import build_suite, suite_traces
+from repro.workloads.trace import Trace
+
+from conftest import make_trace
+
+
+def test_truncate_trims_all_columns():
+    trace = make_trace([
+        (0x100, BranchKind.COND_DIRECT, True, 0x200, 1),
+        (0x200, BranchKind.COND_DIRECT, True, 0x300, 2),
+        (0x300, BranchKind.COND_DIRECT, True, 0x400, 3),
+    ])
+    trace.truncate(2)
+    assert len(trace) == 2
+    assert len(trace.gaps) == 2
+    assert trace.instruction_count == 2 + 1 + 2
+
+
+def test_truncate_beyond_length_is_noop():
+    trace = make_trace([(0x100, BranchKind.COND_DIRECT, True, 0x200, 1)])
+    trace.truncate(10)
+    assert len(trace) == 1
+
+
+def test_truncate_rejects_negative():
+    with pytest.raises(ValueError):
+        Trace().truncate(-1)
+
+
+def test_suite_traces_returns_all_apps():
+    traces = suite_traces("tiny")
+    assert len(traces) == len(build_suite("tiny"))
+    assert all(len(trace) > 0 for trace in traces)
+    names = {trace.name for trace in traces}
+    assert "server_oltp_00" in names

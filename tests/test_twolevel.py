@@ -1,0 +1,67 @@
+"""Unit tests for the two-level BTB hierarchy."""
+
+from repro.btb.baseline import BaselineBTB
+from repro.btb.twolevel import TwoLevelBTB
+
+from conftest import make_event, synthetic_branch_set
+
+
+def build() -> TwoLevelBTB:
+    return TwoLevelBTB(BaselineBTB(entries=64, ways=4), BaselineBTB(entries=1024, ways=8))
+
+
+def test_update_fills_both_levels():
+    hierarchy = build()
+    event = make_event()
+    hierarchy.update(event)
+    assert hierarchy.level0.lookup(event.pc).hit
+    assert hierarchy.level1.lookup(event.pc).hit
+
+
+def test_l0_hit_is_fast():
+    hierarchy = build()
+    event = make_event()
+    hierarchy.update(event)
+    lookup = hierarchy.lookup(event.pc)
+    assert lookup.hit
+    assert lookup.latency == 1
+    assert lookup.provider.startswith("l0")
+
+
+def test_l1_hit_costs_extra_latency():
+    hierarchy = build()
+    # Fill beyond L0 capacity so some branches only survive in L1.
+    pairs = synthetic_branch_set(300, seed=2)
+    for pc, target in pairs:
+        hierarchy.update(make_event(pc=pc, target=target))
+    l1_latencies = []
+    for pc, target in pairs:
+        lookup = hierarchy.lookup(pc)
+        if lookup.hit and lookup.provider.startswith("l1"):
+            l1_latencies.append(lookup.latency)
+    assert l1_latencies, "expected some L1-only hits"
+    assert all(latency == 2 for latency in l1_latencies)
+
+
+def test_miss_when_both_levels_miss():
+    hierarchy = build()
+    lookup = hierarchy.lookup(0xDEAD_0000)
+    assert not lookup.hit
+    assert lookup.target is None
+
+
+def test_storage_is_sum_of_levels():
+    hierarchy = build()
+    expected = hierarchy.level0.storage_bits() + hierarchy.level1.storage_bits()
+    assert hierarchy.storage_bits() == expected
+
+
+def test_hierarchy_beats_l0_alone_on_large_working_set():
+    small = BaselineBTB(entries=64, ways=4)
+    hierarchy = build()
+    pairs = synthetic_branch_set(400, seed=11)
+    stream = pairs * 4
+    for pc, target in stream:
+        small.observe(make_event(pc=pc, target=target))
+        hierarchy.observe(make_event(pc=pc, target=target))
+    assert hierarchy.stats.miss_rate < small.stats.miss_rate

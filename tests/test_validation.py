@@ -1,0 +1,58 @@
+"""Tests for the calibration scorecard."""
+
+import pytest
+
+from repro.analysis.validation import (
+    CALIBRATION_TARGETS,
+    CalibrationTarget,
+    measure_calibration_values,
+    validate_suite,
+    validate_trace,
+)
+from repro.workloads.suite import build_suite, get_trace
+
+
+def test_targets_cover_every_section3_statistic():
+    keys = {target.key for target in CALIBRATION_TARGETS}
+    assert keys == {
+        "static_taken", "dynamic_taken", "unique_targets", "unique_regions",
+        "unique_pages", "unique_offsets", "targets_per_page",
+        "targets_per_region", "same_page",
+    }
+
+
+def test_target_check_bounds():
+    target = CalibrationTarget("x", "", 0.5, 0.4, 0.6)
+    assert target.check(0.4)
+    assert target.check(0.6)
+    assert not target.check(0.39)
+    assert not target.check(0.61)
+
+
+def test_measure_values_complete():
+    trace = get_trace("server_oltp_00", "tiny")
+    values = measure_calibration_values(trace)
+    assert set(values) == {target.key for target in CALIBRATION_TARGETS}
+
+
+def test_validate_trace_renders():
+    result = validate_trace(get_trace("server_oltp_00", "tiny"))
+    text = result.render()
+    assert "calibration scorecard" in text
+    assert "same_page" in text
+
+
+def test_suite_mean_passes_calibration():
+    """The shipped suite must stay inside every published band.
+
+    (Suite *means* are what the paper's figures report; individual apps
+    may legitimately sit outside a band.)
+    """
+    traces = [get_trace(spec.name, "smoke") for spec in build_suite("smoke")]
+    result = validate_suite(traces)
+    assert result.all_passed, result.render()
+
+
+def test_validate_suite_rejects_empty():
+    with pytest.raises(ValueError):
+        validate_suite([])
