@@ -1,0 +1,58 @@
+"""Observability overhead: instrumentation must stay under 5%.
+
+The obs layer's contract is "always available, never in the way": the
+simulator hot loop carries no per-event instrumentation (structures
+publish aggregate snapshots once per run), and the disabled-mode null
+objects make every publish a no-op.  This benchmark holds the layer to
+that contract on a smoke-scale simulation, both disabled (the default
+state every other benchmark runs in) and fully enabled.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.designs import pdede_design
+from repro.frontend.simulator import FrontendSimulator
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+from repro.workloads.suite import get_trace
+
+from conftest import run_once
+
+#: Maximum tolerated wall-time regression with the obs layer fully on.
+MAX_OVERHEAD = 0.05
+
+
+def _simulate(trace, design):
+    btb, kwargs = design.build()
+    return FrontendSimulator(btb, **kwargs).run(trace, warmup_fraction=0.3)
+
+
+def _best_of(n, trace, design):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        _simulate(trace, design)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_obs_overhead_under_5_percent(benchmark):
+    design = pdede_design()
+    trace = get_trace("server_oltp_00")  # smoke scale via conftest
+    _simulate(trace, design)  # warm the trace cache and code paths
+
+    disabled = _best_of(3, trace, design)
+    with use_registry(MetricsRegistry()), use_tracer(Tracer()):
+        enabled = _best_of(3, trace, design)
+
+    overhead = enabled / disabled - 1.0
+    print(
+        f"\nobs overhead: disabled {disabled:.3f}s, enabled {enabled:.3f}s "
+        f"({overhead:+.2%}, budget {MAX_OVERHEAD:.0%})"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%}"
+    )
+    run_once(benchmark, _simulate, trace, design)

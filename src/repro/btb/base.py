@@ -94,6 +94,21 @@ class BTBStats:
             return 0.0
         return 1000.0 * self.misses / instructions
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of the counters."""
+        return {
+            "lookups": self.lookups,
+            "taken_lookups": self.taken_lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "wrong_target": self.wrong_target,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+            "updates": self.updates,
+            "miss_rate": self.miss_rate,
+            "misses_by_kind": dict(self.misses_by_kind),
+        }
+
 
 class BranchTargetPredictor(abc.ABC):
     """Abstract base class for every BTB design in this library."""
@@ -123,6 +138,34 @@ class BranchTargetPredictor(abc.ABC):
 
     def reset_stats(self) -> None:
         self.stats = BTBStats()
+
+    def metrics(self) -> dict:
+        """Flat metric snapshot for the observability registry.
+
+        Keys follow the README naming scheme: ``_total`` suffixes mark
+        monotonic counts (published as counters), everything else is a
+        point-in-time gauge.  ``misses_by_kind`` is excluded -- the
+        simulator publishes it separately with a ``kind=`` label.
+        Subclasses extend this with per-structure internals (occupancy,
+        the delta/pointer hit split, dedup-table state, ...).
+        """
+        stats = self.stats
+        data = {
+            "btb_lookups_total": stats.lookups,
+            "btb_taken_lookups_total": stats.taken_lookups,
+            "btb_hits_total": stats.hits,
+            "btb_misses_total": stats.misses,
+            "btb_wrong_target_total": stats.wrong_target,
+            "btb_allocations_total": stats.allocations,
+            "btb_evictions_total": stats.evictions,
+            "btb_updates_total": stats.updates,
+            "btb_miss_rate": stats.miss_rate,
+            "btb_storage_kib": self.storage_kib(),
+        }
+        occupancy = getattr(self, "occupancy", None)
+        if callable(occupancy):
+            data["btb_occupancy"] = occupancy()
+        return data
 
     def observe(self, event: BranchEvent) -> tuple[BTBLookup, bool]:
         """Convenience: lookup, score, and update in trace order.

@@ -172,5 +172,11 @@ class BaselineBTB(BranchTargetPredictor):
         """Number of valid entries currently stored."""
         return sum(sum(valid) for valid in self._valid)
 
+    def metrics(self) -> dict:
+        data = super().metrics()
+        data["btb_entries"] = self.entries
+        data["btb_ways"] = self.ways
+        return data
+
     def contains(self, pc: int) -> bool:
         return self._find_way(self._index(pc), self._tag(pc)) is not None

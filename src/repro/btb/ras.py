@@ -64,3 +64,14 @@ class ReturnAddressStack:
 
     def storage_bits(self, address_bits: int = 57) -> int:
         return self.depth * address_bits
+
+    def snapshot(self) -> dict:
+        """Flat metric snapshot for the observability registry."""
+        return {
+            "ras_pushes_total": self.pushes,
+            "ras_pops_total": self.pops,
+            "ras_underflows_total": self.underflows,
+            "ras_overflows_total": self.overflows,
+            "ras_depth": self.depth,
+            "ras_occupancy": self._size,
+        }

@@ -7,11 +7,17 @@ Commands:
 * ``simulate``      -- run one (application, design) pair, print metrics.
 * ``experiment``    -- run a paper figure/table by id and print its rows.
 * ``report``        -- run the whole evaluation, emit a markdown report.
+
+``simulate``, ``experiment``, and ``report`` share the observability
+flags (README "Observability"): ``--metrics-out FILE.json`` dumps the
+metrics-registry snapshot, ``--trace-out FILE.jsonl`` dumps the span
+tree, ``--progress`` streams span completions to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core.config import PDedeMode
@@ -23,6 +29,8 @@ from repro.experiments import (
     run_design,
     shotgun_design,
 )
+from repro.obs.metrics import enable_metrics, use_registry
+from repro.obs.tracing import NullTracer, Tracer, use_tracer
 from repro.workloads.suite import SCALES, build_suite
 
 
@@ -108,16 +116,22 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    app = args.app_opt or args.app
+    design_key = args.design_opt or args.design
+    if not app or not design_key:
+        print("simulate needs an application and a design "
+              "(positional or --app/--design)", file=sys.stderr)
+        return 2
     registry = _design_registry()
-    if args.design not in registry:
-        print(f"unknown design {args.design!r}; options: {sorted(registry)}",
+    if design_key not in registry:
+        print(f"unknown design {design_key!r}; options: {sorted(registry)}",
               file=sys.stderr)
         return 2
-    design = registry[args.design]
-    stats = run_design(args.app, design, scale=args.scale,
+    design = registry[design_key]
+    stats = run_design(app, design, scale=args.scale,
                        warmup_fraction=args.warmup)
     btb, _ = design.build()
-    print(f"{args.app} x {design.key} (storage {btb.storage_kib():.1f} KiB)")
+    print(f"{app} x {design.key} (storage {btb.storage_kib():.1f} KiB)")
     print(f"  IPC            : {stats.ipc:.3f}")
     print(f"  BTB MPKI       : {stats.btb_mpki:.2f}")
     print(f"  decode resteers: {stats.decode_resteers}")
@@ -154,10 +168,56 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wrap(values, indent: str = "  ", width: int = 72) -> str:
+    """Lay comma-separated values out over indented lines."""
+    lines, line = [], indent
+    for value in values:
+        cell = value + "  "
+        if len(line) + len(cell) > width and line.strip():
+            lines.append(line.rstrip())
+            line = indent
+        line += cell
+    if line.strip():
+        lines.append(line.rstrip())
+    return "\n".join(lines)
+
+
+def _epilog() -> str:
+    """Generated from the registries so --help never goes stale."""
+    return (
+        "design keys (simulate DESIGN):\n"
+        + _wrap(sorted(_design_registry()))
+        + "\n\nexperiment ids (experiment ID):\n"
+        + _wrap(sorted(_experiment_registry()))
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", metavar="FILE.json", default=None,
+        help="dump the metrics-registry snapshot as JSON",
+    )
+    group.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="dump the span trace as JSONL (one span per line)",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="stream span completions to stderr while running",
+    )
+    group.add_argument(
+        "--trace-memory", action="store_true",
+        help="record tracemalloc peaks per span (implies tracing)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PDede (MICRO 2021) reproduction toolkit",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default=None,
@@ -170,16 +230,29 @@ def build_parser() -> argparse.ArgumentParser:
     characterize = sub.add_parser("characterize", help="Section 3 analyses for one app")
     characterize.add_argument("app")
 
-    simulate = sub.add_parser("simulate", help="simulate one (app, design) pair")
-    simulate.add_argument("app")
-    simulate.add_argument("design")
+    simulate = sub.add_parser(
+        "simulate", help="simulate one (app, design) pair",
+        epilog=_epilog(), formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    simulate.add_argument("app", nargs="?", default=None)
+    simulate.add_argument("design", nargs="?", default=None)
+    simulate.add_argument("--app", dest="app_opt", default=None,
+                          help="application name (alternative to positional)")
+    simulate.add_argument("--design", dest="design_opt", default=None,
+                          help="design key (alternative to positional)")
     simulate.add_argument("--warmup", type=float, default=0.3)
+    _add_obs_flags(simulate)
 
-    experiment = sub.add_parser("experiment", help="run a paper figure/table by id")
+    experiment = sub.add_parser(
+        "experiment", help="run a paper figure/table by id",
+        epilog=_epilog(), formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     experiment.add_argument("id")
+    _add_obs_flags(experiment)
 
     report = sub.add_parser("report", help="run the full evaluation matrix")
     report.add_argument("--output", "-o", default=None)
+    _add_obs_flags(report)
 
     return parser
 
@@ -193,9 +266,49 @@ _COMMANDS = {
 }
 
 
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Scope the obs flags: enable, run, dump to the requested sinks."""
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    progress = getattr(args, "progress", False)
+    trace_memory = getattr(args, "trace_memory", False)
+    want_tracing = bool(trace_out or progress or trace_memory)
+    with contextlib.ExitStack() as stack:
+        registry = None
+        if metrics_out:
+            registry = stack.enter_context(use_registry(enable_metrics()))
+        tracer = NullTracer()
+        if want_tracing:
+            tracer = stack.enter_context(
+                use_tracer(Tracer(trace_memory=trace_memory))
+            )
+            if progress:
+                def _line(span):
+                    if span.depth <= 1:
+                        attrs = " ".join(
+                            f"{k}={v}" for k, v in span.attrs.items()
+                        )
+                        print(f"  [{span.seconds:7.2f}s] {span.name} {attrs}",
+                              file=sys.stderr)
+                tracer.on_close = _line
+        try:
+            yield
+        finally:
+            if metrics_out and registry is not None:
+                registry.dump(metrics_out)
+                print(f"wrote {metrics_out}", file=sys.stderr)
+            if trace_out:
+                tracer.write_jsonl(trace_out)
+                print(f"wrote {trace_out}", file=sys.stderr)
+            if want_tracing:
+                tracer.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    with _observability(args):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -417,3 +417,25 @@ class PDedeBTB(BranchTargetPredictor):
 
     def contains(self, pc: int) -> bool:
         return self._find_way(self._index(pc), self._tag(pc)) is not None
+
+    def metrics(self) -> dict:
+        """Per-structure snapshot: BTBM, Page-BTB, Region-BTB internals.
+
+        The delta-vs-pointer hit split and the dedup-table occupancies
+        are the numbers Section 4's arguments turn on; exposing them per
+        run is the point of the observability layer.
+        """
+        data = super().metrics()
+        data.update(
+            btbm_occupancy=self.occupancy(),
+            btbm_entries=self._sets * self._ways,
+            btbm_delta_entries=self.delta_entry_count(),
+            pdede_delta_hits_total=self.delta_hits,
+            pdede_pointer_hits_total=self.pointer_hits,
+            pdede_stale_pointer_reads_total=self.stale_pointer_reads,
+            pdede_next_target_provisions_total=self.next_target_provisions,
+            pdede_next_target_correct_total=self.next_target_correct,
+        )
+        data.update(self.page_btb.metrics("page_btb"))
+        data.update(self.region_btb.metrics("region_btb"))
+        return data

@@ -133,6 +133,18 @@ class DedupValueTable:
     def occupancy(self) -> int:
         return sum(sum(valid) for valid in self._valid)
 
+    def metrics(self, prefix: str | None = None) -> dict:
+        """Flat metric snapshot, keyed ``<prefix>_*`` (README scheme)."""
+        p = prefix or self.name.replace("-", "_")
+        return {
+            f"{p}_entries": self.entries,
+            f"{p}_occupancy": self.occupancy(),
+            f"{p}_unique_values": len(self.unique_values()),
+            f"{p}_allocations_total": self.allocations,
+            f"{p}_dedup_hits_total": self.dedup_hits,
+            f"{p}_evictions_total": self.evictions,
+        }
+
     def unique_values(self) -> set[int]:
         present = set()
         for set_index in range(self.sets):

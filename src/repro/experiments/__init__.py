@@ -24,11 +24,14 @@ from repro.experiments.designs import (
 )
 from repro.experiments.harness import (
     SuiteResult,
+    cache_enabled,
+    cache_info,
     clear_cache,
     format_table,
     percent,
     run_design,
     run_suite,
+    slowest_runs,
 )
 from repro.experiments.characterization import (
     run_fig1,
@@ -74,11 +77,14 @@ __all__ = [
     "with_returns_in_btb",
     "with_temporal_prefetch",
     "SuiteResult",
+    "cache_enabled",
+    "cache_info",
     "clear_cache",
     "format_table",
     "percent",
     "run_design",
     "run_suite",
+    "slowest_runs",
     "Fig10Result",
     "run_fig1",
     "run_fig3",

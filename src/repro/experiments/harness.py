@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.frontend.params import CoreParams, ICELAKE
 from repro.frontend.simulator import FrontendSimulator
 from repro.frontend.stats import FrontendStats
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
 from repro.experiments.designs import Design
 
@@ -29,10 +32,46 @@ _RESULT_CACHE: dict[tuple, FrontendStats] = {}
 #: Designs visible to pool workers (populated pre-fork by run_suite).
 _WORKER_DESIGNS: dict[str, Design] = {}
 
+#: Memo-cache telemetry (exposed by cache_info / the metrics registry).
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+#: (trace name, design key) -> wall seconds of the last fresh simulation;
+#: the report's telemetry appendix ranks these.
+_RUN_SECONDS: dict[tuple[str, str], float] = {}
+
+
+def cache_enabled() -> bool:
+    """Memoisation knob: ``REPRO_RESULT_CACHE=0`` disables the cache
+    (benchmarking the cache's own impact, or forcing fresh runs)."""
+    return os.environ.get("REPRO_RESULT_CACHE", "1") != "0"
+
+
+def cache_info() -> dict:
+    """Memo-cache telemetry: hits / misses / size / hit rate."""
+    lookups = _CACHE_HITS + _CACHE_MISSES
+    return {
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+        "size": len(_RESULT_CACHE),
+        "hit_rate": _CACHE_HITS / lookups if lookups else 0.0,
+        "enabled": cache_enabled(),
+    }
+
 
 def clear_cache() -> None:
-    """Drop all memoised simulation results (tests use this)."""
+    """Drop all memoised simulation results and telemetry (tests use this)."""
+    global _CACHE_HITS, _CACHE_MISSES
     _RESULT_CACHE.clear()
+    _RUN_SECONDS.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def slowest_runs(n: int = 5) -> list[tuple[str, str, float]]:
+    """The ``n`` slowest fresh simulations seen so far, slowest first."""
+    ranked = sorted(_RUN_SECONDS.items(), key=lambda item: -item[1])
+    return [(app, design, seconds) for (app, design), seconds in ranked[:n]]
 
 
 def run_design(
@@ -43,16 +82,39 @@ def run_design(
     scale: str | None = None,
 ) -> FrontendStats:
     """Simulate one (app, design) pair, memoised."""
+    global _CACHE_HITS, _CACHE_MISSES
     scale = scale or current_scale()
+    registry = get_registry()
+    use_cache = cache_enabled()
     key = (trace_name, scale, design.key, params, warmup_fraction)
-    cached = _RESULT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    trace = get_trace(trace_name, scale)
-    btb, simulator_kwargs = design.build()
-    simulator = FrontendSimulator(btb, params=params, **simulator_kwargs)
-    stats = simulator.run(trace, warmup_fraction=warmup_fraction)
-    _RESULT_CACHE[key] = stats
+    if use_cache:
+        cached = _RESULT_CACHE.get(key)
+        if cached is not None:
+            _CACHE_HITS += 1
+            registry.counter(
+                "harness_result_cache_total", "memo-cache lookups by outcome"
+            ).inc(outcome="hit")
+            return cached
+    _CACHE_MISSES += 1
+    registry.counter(
+        "harness_result_cache_total", "memo-cache lookups by outcome"
+    ).inc(outcome="miss")
+    tracer = get_tracer()
+    started = time.perf_counter()
+    with tracer.span("simulate", app=trace_name, design=design.key, scale=scale):
+        with tracer.span("trace-gen", app=trace_name, scale=scale):
+            trace = get_trace(trace_name, scale)
+        btb, simulator_kwargs = design.build()
+        simulator = FrontendSimulator(btb, params=params, **simulator_kwargs)
+        with tracer.span("warmup+measure", app=trace_name, design=design.key):
+            stats = simulator.run(trace, warmup_fraction=warmup_fraction)
+    elapsed = time.perf_counter() - started
+    _RUN_SECONDS[(trace_name, design.key)] = elapsed
+    registry.histogram(
+        "harness_simulation_seconds", "wall seconds per fresh simulation"
+    ).observe(elapsed, design=design.key, scale=scale)
+    if use_cache:
+        _RESULT_CACHE[key] = stats
     return stats
 
 
@@ -112,19 +174,22 @@ class SuiteResult:
         }
 
 
-def _pool_worker(job: tuple) -> tuple[tuple, FrontendStats]:
+def _pool_worker(job: tuple) -> tuple[tuple, FrontendStats, float, int]:
     """Pool entry point: simulate one (app, design) pair in a child.
 
     Children are forked, so ``_WORKER_DESIGNS`` (and the parent's trace
-    cache) are inherited by reference; only the stats come back.
+    cache) are inherited by reference; only the stats come back, plus
+    the wall seconds and worker pid so the parent can attribute
+    per-worker timing (a child's own tracer/registry die with it).
     """
     trace_name, design_key, params, warmup_fraction, scale = job
     design = _WORKER_DESIGNS[design_key]
+    started = time.perf_counter()
     stats = run_design(
         trace_name, design, params=params, warmup_fraction=warmup_fraction, scale=scale
     )
     key = (trace_name, scale, design_key, params, warmup_fraction)
-    return key, stats
+    return key, stats, time.perf_counter() - started, os.getpid()
 
 
 def run_suite(
@@ -144,7 +209,7 @@ def run_suite(
             way).  Ignored on platforms without fork.
     """
     scale = scale or current_scale()
-    if workers and workers > 1 and hasattr(os, "fork"):
+    if workers and workers > 1 and hasattr(os, "fork") and cache_enabled():
         _prefill_cache_parallel(
             [design, baseline],
             params={design.key: params, baseline.key: baseline_params or params},
@@ -189,10 +254,22 @@ def _prefill_cache_parallel(
                              warmup_fraction, scale))
     if not jobs:
         return
+    registry = get_registry()
+    tracer = get_tracer()
+    worker_seconds = registry.histogram(
+        "harness_worker_seconds", "wall seconds per fork-pool job, by worker pid"
+    )
     context = multiprocessing.get_context("fork")
-    with context.Pool(processes=workers) as pool:
-        for key, stats in pool.imap_unordered(_pool_worker, jobs):
-            _RESULT_CACHE[key] = stats
+    with tracer.span("fork-pool", jobs=len(jobs), workers=workers, scale=scale):
+        with context.Pool(processes=workers) as pool:
+            for key, stats, seconds, pid in pool.imap_unordered(_pool_worker, jobs):
+                _RESULT_CACHE[key] = stats
+                _RUN_SECONDS[(key[0], key[2])] = seconds
+                worker_seconds.observe(seconds, worker=pid)
+                tracer.event(
+                    "pool-job", app=key[0], design=key[2], seconds=round(seconds, 4),
+                    worker=pid,
+                )
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

@@ -60,3 +60,12 @@ class ICache:
         if self.accesses == 0:
             return 0.0
         return self.misses / self.accesses
+
+    def snapshot(self) -> dict:
+        """Flat metric snapshot for the observability registry."""
+        return {
+            "icache_accesses_total": self.accesses,
+            "icache_misses_total": self.misses,
+            "icache_miss_rate": self.miss_rate,
+            "icache_lines": self.sets * self.ways,
+        }

@@ -30,6 +30,7 @@ not modelled (a second-order effect the paper notes qualitatively).
 from __future__ import annotations
 
 from repro.branch.direction import DirectionPredictor, TageLitePredictor
+from repro.obs.metrics import get_registry
 from repro.branch.types import BranchKind
 from repro.btb.base import BranchTargetPredictor
 from repro.btb.ittage import ITTagePredictor
@@ -267,7 +268,64 @@ class FrontendSimulator:
                 stats.ras_mispredicts += 1
             if bubble:
                 stats.extra_latency_lookups += 1
+        registry = get_registry()
+        if registry.enabled:
+            self.publish_metrics(stats, registry, app=trace.name)
         return stats
+
+    def publish_metrics(self, stats: FrontendStats, registry=None, app: str = "?") -> None:
+        """Publish one run's aggregate metrics into the registry.
+
+        Called once at the end of :meth:`run` (never per event, so the
+        hot loop carries no instrumentation); every series is labelled
+        ``app=<trace name>, design=<btb name>`` so sweeps stay separable.
+        Publishes the frontend cycle accounting, the resteer-cause
+        split, and each structure's own snapshot (BTB ``metrics()``,
+        ICache / RAS ``snapshot()``).
+        """
+        registry = registry or get_registry()
+        labels = {"app": app, "design": self.btb.name}
+        frontend = {
+            "frontend_instructions_total": stats.instructions,
+            "frontend_cycles_total": stats.cycles,
+            "frontend_branches_total": stats.branches,
+            "frontend_taken_branches_total": stats.taken_branches,
+            "frontend_btb_misses_total": stats.btb_misses,
+            "frontend_icache_misses_total": stats.icache_misses,
+            "frontend_extra_latency_lookups_total": stats.extra_latency_lookups,
+            "frontend_wrong_path_fetches_total": self.wrong_path_fetches,
+            "frontend_ipc": stats.ipc,
+            "frontend_btb_mpki": stats.btb_mpki,
+            "frontend_bound_fraction": stats.frontend_bound_fraction,
+            "frontend_bad_speculation_fraction": stats.bad_speculation_fraction,
+        }
+        registry.publish(frontend, **labels)
+        stalls = registry.counter(
+            "frontend_stall_cycles_total", "Top-Down cycle buckets (Figure 1)"
+        )
+        stalls.inc(stats.icache_stall_cycles, bucket="icache", **labels)
+        stalls.inc(stats.btb_bubble_cycles, bucket="btb-bubble", **labels)
+        stalls.inc(stats.btb_resteer_cycles, bucket="btb-resteer", **labels)
+        stalls.inc(stats.bad_speculation_cycles, bucket="bad-speculation", **labels)
+        resteers = registry.counter(
+            "frontend_resteers_total", "resteers by pipeline stage and cause"
+        )
+        resteers.inc(stats.decode_resteers, stage="decode", cause="btb-direct", **labels)
+        resteers.inc(
+            stats.direction_mispredicts, stage="execute", cause="direction", **labels
+        )
+        resteers.inc(
+            stats.indirect_mispredicts, stage="execute", cause="indirect", **labels
+        )
+        resteers.inc(stats.ras_mispredicts, stage="execute", cause="ras", **labels)
+        registry.publish(self.btb.metrics(), **labels)
+        by_kind = registry.counter(
+            "btb_misses_by_kind_total", "BTB misses split by branch kind"
+        )
+        for kind, count in self.btb.stats.misses_by_kind.items():
+            by_kind.inc(count, kind=kind, **labels)
+        registry.publish(self.icache.snapshot(), **labels)
+        registry.publish(self.ras.snapshot(), **labels)
 
 
 class _EventView:

@@ -8,7 +8,7 @@ bad speculation (execute-stage flushes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -74,6 +74,20 @@ class FrontendStats:
             return 0.0
         return self.bad_speculation_cycles / self.cycles
 
+    @property
+    def taken_branch_fraction(self) -> float:
+        """Dynamically-taken share of all branches."""
+        if self.branches <= 0:
+            return 0.0
+        return self.taken_branches / self.branches
+
+    @property
+    def btb_miss_rate(self) -> float:
+        """BTB misses per taken branch (the per-lookup counterpart of MPKI)."""
+        if self.taken_branches <= 0:
+            return 0.0
+        return self.btb_misses / self.taken_branches
+
     def speedup_over(self, baseline: "FrontendStats") -> float:
         """IPC speedup of this run relative to ``baseline`` (1.0 = equal)."""
         if baseline.ipc <= 0:
@@ -85,3 +99,28 @@ class FrontendStats:
         if baseline.btb_mpki <= 0:
             return 0.0
         return 1.0 - self.btb_mpki / baseline.btb_mpki
+
+    #: Derived properties serialised by :meth:`to_dict` (all are guarded
+    #: against empty runs: any ratio over zero events is reported as 0.0).
+    _DERIVED = (
+        "ipc",
+        "btb_mpki",
+        "btb_miss_rate",
+        "taken_branch_fraction",
+        "frontend_stall_cycles",
+        "frontend_bound_fraction",
+        "btb_resteer_share_of_frontend",
+        "bad_speculation_fraction",
+    )
+
+    def to_dict(self, derived: bool = True) -> dict:
+        """JSON-serialisable snapshot: raw fields plus derived ratios.
+
+        The ``--metrics-out`` surface and the report telemetry appendix
+        use this; ``derived=False`` returns only the raw counters.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if derived:
+            for name in self._DERIVED:
+                data[name] = getattr(self, name)
+        return data

@@ -1,0 +1,62 @@
+"""Observability layer: metrics registry + structured event tracing.
+
+A dependency-free instrumentation substrate for the simulator stack:
+
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms with
+  labels, published by the frontend simulator, the BTB designs, the
+  ICache, the RAS, and the experiment harness;
+* :mod:`repro.obs.tracing` -- nested wall-clock spans (optionally with
+  ``tracemalloc`` peaks) around trace generation, simulation, and the
+  report sections, with a JSONL sink and a human tree renderer.
+
+Both default to shared null objects, so instrumented code pays ~nothing
+until ``python -m repro ... --metrics-out/--trace-out/--progress`` (or a
+test) enables them.  See README "Observability" for the metric naming
+scheme and example output.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    use_registry,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_jsonl,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "metrics_enabled",
+    "use_registry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "read_jsonl",
+    "tracing_enabled",
+    "use_tracer",
+]

@@ -1,0 +1,376 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+The observability substrate every structure in the stack publishes into
+(BTB occupancy, delta-vs-pointer hit split, resteer causes, harness
+cache hits, fork-pool worker seconds, ...).  Design constraints:
+
+* **dependency-free** -- plain dicts, JSON-serialisable snapshots;
+* **near-zero overhead when disabled** -- the module-level default
+  registry is a shared null object whose instruments ignore every call,
+  so publishers never branch on an "is observability on?" flag, and the
+  simulator hot loop is never instrumented per event (structures
+  publish aggregate counters once per run);
+* **get-or-create instruments** -- ``registry.counter(name)`` is
+  idempotent, so publishers fetch instruments at publish time and no
+  construction-order coupling exists between the registry and the
+  simulated structures.
+
+Naming scheme (documented in README "Observability"): snake_case with a
+subsystem prefix (``frontend_``, ``btb_``, ``pdede_``, ``icache_``,
+``ras_``, ``harness_``); monotonically increasing counts end in
+``_total``; point-in-time values (occupancies, ratios) are gauges.
+Series are distinguished by labels (``app=``, ``design=``, ``kind=``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "use_registry",
+]
+
+#: Default histogram buckets -- tuned for wall-clock seconds, the layer's
+#: dominant histogram use (per-run and per-worker timings).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+def _series_key(labels: dict) -> tuple:
+    """Canonical hashable key for a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    """Shared bookkeeping for every instrument kind."""
+
+    kind = "instrument"
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, object] = {}
+
+    def labelsets(self) -> list[dict]:
+        return [dict(key) for key in self._series]
+
+    def _series_dicts(self) -> list[dict]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": self._series_dicts(),
+        }
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _series_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_series_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._series.values())
+
+    def _series_dicts(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (occupancy, ratio, configuration size)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_series_key(labels)] = value
+
+    def add(self, amount: float, **labels) -> None:
+        key = _series_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_series_key(labels), 0)
+
+    def _series_dicts(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution with count/sum/min/max per label set."""
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(self, name: str, help: str = "", buckets=None) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+
+    def observe(self, value: float, **labels) -> None:
+        key = _series_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = {
+                "count": 0,
+                "sum": 0.0,
+                "min": value,
+                "max": value,
+                "bucket_counts": [0] * (len(self.buckets) + 1),
+            }
+            self._series[key] = state
+        state["count"] += 1
+        state["sum"] += value
+        if value < state["min"]:
+            state["min"] = value
+        if value > state["max"]:
+            state["max"] = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["bucket_counts"][index] += 1
+                return
+        state["bucket_counts"][-1] += 1  # overflow bucket
+
+    def count(self, **labels) -> int:
+        state = self._series.get(_series_key(labels))
+        return 0 if state is None else state["count"]
+
+    def sum(self, **labels) -> float:
+        state = self._series.get(_series_key(labels))
+        return 0.0 if state is None else state["sum"]
+
+    def mean(self, **labels) -> float:
+        state = self._series.get(_series_key(labels))
+        if not state or not state["count"]:
+            return 0.0
+        return state["sum"] / state["count"]
+
+    def _series_dicts(self) -> list[dict]:
+        out = []
+        for key, state in sorted(self._series.items()):
+            entry = {"labels": dict(key)}
+            entry.update(state)
+            out.append(entry)
+        return out
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["buckets"] = list(self.buckets)
+        return data
+
+
+class MetricsRegistry:
+    """Recording registry: name -> instrument, get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory, help: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif type(instrument) is not factory.cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        if help and not instrument.help:
+            instrument.help = help
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        factory = lambda: Counter(name, help)  # noqa: E731
+        factory.cls = Counter
+        return self._get(name, factory, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        factory = lambda: Gauge(name, help)  # noqa: E731
+        factory.cls = Gauge
+        return self._get(name, factory, help)
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+        factory = lambda: Histogram(name, help, buckets)  # noqa: E731
+        factory.cls = Histogram
+        return self._get(name, factory, help)
+
+    # -- bulk publishing ----------------------------------------------------
+
+    def publish(self, values: dict[str, float], **labels) -> None:
+        """Publish a flat ``name -> number`` dict (structure snapshots).
+
+        Names ending in ``_total`` become counter increments; everything
+        else becomes a gauge set.  This is how ``metrics()``/``snapshot()``
+        dicts from the simulated structures land in the registry.
+        """
+        for name, value in values.items():
+            if name.endswith("_total"):
+                self.counter(name).inc(value, **labels)
+            else:
+                self.gauge(name).set(value, **labels)
+
+    # -- introspection / serialisation --------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def to_dict(self) -> dict:
+        return {
+            name: instrument.to_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def dump(self, path: str) -> None:
+        """Write the full snapshot as pretty-printed JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _NullInstrument:
+    """Accepts every instrument call and records nothing."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    help = ""
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def add(self, amount: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def sum(self, **labels) -> float:
+        return 0.0
+
+    def mean(self, **labels) -> float:
+        return 0.0
+
+    def labelsets(self) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled-mode registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def publish(self, values: dict, **labels) -> None:
+        pass
+
+    def names(self) -> list[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write("{}\n")
+
+
+_NULL_REGISTRY = NullRegistry()
+_active: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The active registry (the shared null object when disabled)."""
+    return _active
+
+
+def metrics_enabled() -> bool:
+    return _active.enabled
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (and return) a recording registry as the active one."""
+    global _active
+    _active = registry or MetricsRegistry()
+    return _active
+
+
+def disable_metrics() -> None:
+    """Restore the no-op null registry."""
+    global _active
+    _active = _NULL_REGISTRY
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry):
+    """Temporarily install ``registry`` (tests and scoped CLI runs)."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -1,0 +1,317 @@
+"""Structured event tracing: nested spans with a JSONL sink.
+
+Wraps the coarse phases of a run -- trace generation, warmup+simulation,
+aggregation, report sections -- in *spans*: named, attributed intervals
+with wall-clock duration and (optionally) the ``tracemalloc`` peak while
+the span was open.  Spans nest; the completed tree serialises to JSONL
+(one record per span, pre-order) and renders as a human-readable tree.
+
+Like :mod:`repro.obs.metrics`, the module-level default tracer is a
+shared null object: ``get_tracer().span(...)`` is a no-op context
+manager until tracing is enabled, so call sites are unconditional and
+the disabled cost is one dict lookup plus an empty ``with``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "use_tracer",
+    "read_jsonl",
+]
+
+
+class Span:
+    """One named interval in the trace tree."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "depth",
+        "name",
+        "attrs",
+        "start_s",
+        "seconds",
+        "memory_peak_kib",
+        "children",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        name: str,
+        attrs: dict,
+        start_s: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.seconds = 0.0
+        self.memory_peak_kib: float | None = None
+        self.children: list[Span] = []
+
+    def annotate(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on an open or closed span."""
+        self.attrs.update(attrs)
+
+    def to_record(self) -> dict:
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "seconds": round(self.seconds, 6),
+            "attrs": self.attrs,
+        }
+        if self.memory_peak_kib is not None:
+            record["memory_peak_kib"] = round(self.memory_peak_kib, 1)
+        return record
+
+
+class Tracer:
+    """Recording tracer: builds the span tree as code runs."""
+
+    enabled = True
+
+    def __init__(self, trace_memory: bool = False) -> None:
+        self.trace_memory = trace_memory
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+        #: Optional callback fired with each span as it closes (the CLI
+        #: hooks this for ``--progress`` status lines).
+        self.on_close = None
+        self._tracemalloc_started = False
+        if trace_memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._tracemalloc_started = True
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            name=name,
+            attrs=attrs,
+            start_s=time.perf_counter() - self._epoch,
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        if self.trace_memory:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds = time.perf_counter() - started
+            if self.trace_memory:
+                import tracemalloc
+
+                _, peak = tracemalloc.get_traced_memory()
+                span.memory_peak_kib = peak / 1024.0
+            self._stack.pop()
+            if self.on_close is not None:
+                self.on_close(span)
+
+    def event(self, name: str, **attrs) -> Span:
+        """Record an instantaneous (zero-duration) span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            name=name,
+            attrs=attrs,
+            start_s=time.perf_counter() - self._epoch,
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- serialisation ------------------------------------------------------
+
+    def spans(self):
+        """All recorded spans, pre-order (parents before children)."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def to_records(self) -> list[dict]:
+        return [span.to_record() for span in self.spans()]
+
+    def write_jsonl(self, path: str) -> None:
+        """One JSON object per span, pre-order -- the ``--trace-out`` sink."""
+        with open(path, "w") as handle:
+            for record in self.to_records():
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+
+    def render_tree(self) -> str:
+        """Human-readable indented tree with durations and attributes."""
+        lines = []
+        for span in self.spans():
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            memory = (
+                f" peak={span.memory_peak_kib:.0f}KiB"
+                if span.memory_peak_kib is not None
+                else ""
+            )
+            lines.append(
+                f"{'  ' * span.depth}{span.name:<24s} {span.seconds:8.3f}s"
+                f"{memory}{'  ' + attrs if attrs else ''}"
+            )
+        return "\n".join(lines)
+
+    def total_seconds(self) -> float:
+        return sum(span.seconds for span in self.roots)
+
+    def close(self) -> None:
+        """Stop tracemalloc if this tracer started it."""
+        if self._tracemalloc_started:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._tracemalloc_started = False
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a ``--trace-out`` file back into span records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class _NullSpan:
+    """Stand-in yielded by the null tracer's ``span``."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    seconds = 0.0
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled-mode tracer: spans are free, nothing is recorded."""
+
+    enabled = False
+    trace_memory = False
+    on_close = None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        yield _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def spans(self):
+        return iter(())
+
+    def to_records(self) -> list:
+        return []
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w"):
+            pass
+
+    def render_tree(self) -> str:
+        return ""
+
+    def total_seconds(self) -> float:
+        return 0.0
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_TRACER = NullTracer()
+_active: Tracer | NullTracer = _NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer (the shared null object when disabled)."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    return _active.enabled
+
+
+def enable_tracing(
+    tracer: Tracer | None = None, trace_memory: bool = False
+) -> Tracer:
+    """Install (and return) a recording tracer as the active one."""
+    global _active
+    _active = tracer or Tracer(trace_memory=trace_memory)
+    return _active
+
+
+def disable_tracing() -> None:
+    """Restore the no-op null tracer."""
+    global _active
+    if isinstance(_active, Tracer):
+        _active.close()
+    _active = _NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer):
+    """Temporarily install ``tracer`` (tests and scoped CLI runs)."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

@@ -1,0 +1,434 @@
+"""Tests for the observability layer (repro.obs) and its integration."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    use_registry,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+# -- metrics: instruments ----------------------------------------------------
+
+
+def test_counter_inc_and_value():
+    counter = Counter("requests_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value() == 5
+    assert counter.total() == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_counter_labels_are_distinct_series():
+    counter = Counter("resteers_total")
+    counter.inc(3, stage="decode")
+    counter.inc(7, stage="execute")
+    counter.inc(1, stage="decode", cause="btb")
+    assert counter.value(stage="decode") == 3
+    assert counter.value(stage="execute") == 7
+    assert counter.value(stage="decode", cause="btb") == 1
+    assert counter.total() == 11
+    # Label order must not matter.
+    counter.inc(1, cause="btb", stage="decode")
+    assert counter.value(stage="decode", cause="btb") == 2
+
+
+def test_gauge_set_overwrites():
+    gauge = Gauge("occupancy")
+    gauge.set(10, table="page")
+    gauge.set(12, table="page")
+    gauge.add(3, table="page")
+    assert gauge.value(table="page") == 15
+    assert gauge.value(table="region") == 0
+
+
+def test_histogram_tracks_distribution():
+    hist = Histogram("seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count() == 4
+    assert hist.sum() == pytest.approx(55.55)
+    assert hist.mean() == pytest.approx(55.55 / 4)
+    (series,) = hist.to_dict()["series"]
+    assert series["min"] == 0.05
+    assert series["max"] == 50.0
+    assert series["bucket_counts"] == [1, 1, 1, 1]  # one in the overflow
+
+
+def test_histogram_labels():
+    hist = Histogram("worker_seconds")
+    hist.observe(1.0, worker=1)
+    hist.observe(2.0, worker=2)
+    assert hist.count(worker=1) == 1
+    assert hist.count(worker=2) == 1
+    assert hist.count() == 0
+
+
+# -- metrics: registry -------------------------------------------------------
+
+
+def test_registry_get_or_create_idempotent():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total")
+    second = registry.counter("hits_total")
+    assert first is second
+
+
+def test_registry_kind_clash_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_registry_publish_routes_totals_to_counters():
+    registry = MetricsRegistry()
+    registry.publish({"hits_total": 5, "occupancy": 7}, design="pdede")
+    registry.publish({"hits_total": 3, "occupancy": 9}, design="pdede")
+    assert registry.counter("hits_total").value(design="pdede") == 8
+    assert registry.gauge("occupancy").value(design="pdede") == 9
+
+
+def test_registry_to_dict_and_dump(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "cache hits").inc(2, app="a")
+    registry.histogram("seconds").observe(0.25)
+    snapshot = registry.to_dict()
+    assert snapshot["hits_total"]["kind"] == "counter"
+    assert snapshot["hits_total"]["help"] == "cache hits"
+    assert snapshot["hits_total"]["series"] == [
+        {"labels": {"app": "a"}, "value": 2}
+    ]
+    path = tmp_path / "metrics.json"
+    registry.dump(str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(snapshot)
+    )
+
+
+# -- metrics: disabled mode --------------------------------------------------
+
+
+def test_default_registry_is_null_and_records_nothing():
+    registry = get_registry()
+    assert not metrics_enabled()
+    assert isinstance(registry, NullRegistry)
+    instrument = registry.counter("anything_total")
+    instrument.inc(5, label="x")
+    instrument.observe(1.0)
+    instrument.set(2.0)
+    assert instrument.value() == 0
+    assert registry.to_dict() == {}
+    assert registry.names() == []
+
+
+def test_enable_disable_metrics_roundtrip():
+    registry = enable_metrics()
+    try:
+        assert metrics_enabled()
+        assert get_registry() is registry
+    finally:
+        disable_metrics()
+    assert not metrics_enabled()
+
+
+def test_use_registry_restores_previous():
+    scoped = MetricsRegistry()
+    with use_registry(scoped) as active:
+        assert active is scoped
+        assert get_registry() is scoped
+    assert not metrics_enabled()
+
+
+# -- tracing -----------------------------------------------------------------
+
+
+def test_span_nesting_parent_depth():
+    tracer = Tracer()
+    with tracer.span("outer", phase="x") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+        with tracer.span("sibling"):
+            pass
+    assert tracer.current() is None
+    assert [s.name for s in tracer.spans()] == ["outer", "inner", "sibling"]
+    assert inner.parent_id == outer.span_id
+    assert inner.depth == 1
+    assert outer.seconds >= inner.seconds >= 0.0
+
+
+def test_span_annotate_and_event():
+    tracer = Tracer()
+    with tracer.span("run") as span:
+        span.annotate(apps=4)
+        tracer.event("cache-hit", app="x")
+    records = tracer.to_records()
+    assert records[0]["attrs"] == {"apps": 4}
+    assert records[1]["name"] == "cache-hit"
+    assert records[1]["seconds"] == 0.0
+    assert records[1]["parent_id"] == records[0]["span_id"]
+
+
+def test_on_close_callback_fires_in_completion_order():
+    tracer = Tracer()
+    closed = []
+    tracer.on_close = lambda span: closed.append(span.name)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    assert closed == ["inner", "outer"]
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("simulate", app="a", design="d"):
+        with tracer.span("trace-gen", app="a"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(str(path))
+    records = read_jsonl(str(path))
+    assert records == tracer.to_records()
+    assert records[0]["name"] == "simulate"
+    assert records[1]["parent_id"] == records[0]["span_id"]
+    assert records[1]["depth"] == 1
+
+
+def test_trace_memory_records_peaks():
+    tracer = Tracer(trace_memory=True)
+    try:
+        with tracer.span("alloc") as span:
+            _ = [0] * 50_000
+        assert span.memory_peak_kib is not None
+        assert span.memory_peak_kib > 100  # 50k pointers >> 100 KiB
+    finally:
+        tracer.close()
+
+
+def test_render_tree_indents_children():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner", app="x"):
+            pass
+    tree = tracer.render_tree()
+    lines = tree.splitlines()
+    assert lines[0].startswith("outer")
+    assert lines[1].startswith("  inner")
+    assert "app=x" in lines[1]
+
+
+def test_null_tracer_is_default_and_free():
+    tracer = get_tracer()
+    assert not tracing_enabled()
+    assert isinstance(tracer, NullTracer)
+    with tracer.span("anything", app="x") as span:
+        span.annotate(ok=True)
+    tracer.event("nothing")
+    assert tracer.to_records() == []
+    assert tracer.render_tree() == ""
+
+
+def test_use_tracer_restores_previous():
+    scoped = Tracer()
+    with use_tracer(scoped) as active:
+        assert active is scoped
+        assert get_tracer() is scoped
+    assert not tracing_enabled()
+
+
+# -- stats serialisation (satellite) ----------------------------------------
+
+
+def test_frontend_stats_to_dict_includes_derived():
+    from repro.frontend.stats import FrontendStats
+
+    stats = FrontendStats(instructions=1000, cycles=500.0, branches=10,
+                          taken_branches=6, btb_misses=3)
+    data = stats.to_dict()
+    assert data["instructions"] == 1000
+    assert data["ipc"] == 2.0
+    assert data["btb_mpki"] == 3.0
+    assert data["btb_miss_rate"] == 0.5
+    assert data["taken_branch_fraction"] == 0.6
+    raw = stats.to_dict(derived=False)
+    assert "ipc" not in raw
+    json.dumps(data)  # must be JSON-serialisable
+
+
+def test_frontend_stats_empty_guards():
+    from repro.frontend.stats import FrontendStats
+
+    empty = FrontendStats()
+    data = empty.to_dict()
+    for name in FrontendStats._DERIVED:
+        assert data[name] == 0.0
+
+
+# -- harness cache telemetry (satellite) -------------------------------------
+
+
+def test_cache_info_counts_hits_and_misses():
+    from repro.experiments.designs import baseline_design
+    from repro.experiments.harness import cache_info, clear_cache, run_design
+
+    clear_cache()
+    design = baseline_design(entries=256, key="obs-cache-probe")
+    run_design("server_oltp_00", design, scale="tiny")
+    run_design("server_oltp_00", design, scale="tiny")
+    info = cache_info()
+    assert info["hits"] == 1
+    assert info["misses"] == 1
+    assert info["size"] == 1
+    assert info["hit_rate"] == 0.5
+    assert info["enabled"] is True
+    clear_cache()
+    assert cache_info() == {
+        "hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0, "enabled": True,
+    }
+
+
+def test_result_cache_env_knob_disables_memoisation(monkeypatch):
+    from repro.experiments.designs import baseline_design
+    from repro.experiments.harness import cache_info, clear_cache, run_design
+
+    clear_cache()
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+    design = baseline_design(entries=256, key="obs-cache-probe")
+    first = run_design("server_oltp_00", design, scale="tiny")
+    second = run_design("server_oltp_00", design, scale="tiny")
+    assert first is not second
+    info = cache_info()
+    assert info["misses"] == 2
+    assert info["size"] == 0
+    assert info["enabled"] is False
+    clear_cache()
+
+
+def test_slowest_runs_ranked():
+    from repro.experiments.designs import baseline_design
+    from repro.experiments.harness import clear_cache, run_design, slowest_runs
+
+    clear_cache()
+    design = baseline_design(entries=256, key="obs-cache-probe")
+    run_design("server_oltp_00", design, scale="tiny")
+    ranked = slowest_runs(3)
+    assert ranked[0][0] == "server_oltp_00"
+    assert ranked[0][1] == "obs-cache-probe"
+    assert ranked[0][2] > 0.0
+    clear_cache()
+
+
+# -- integration: a simulate run emits the expected metrics ------------------
+
+
+EXPECTED_PDEDE_METRICS = (
+    "frontend_ipc",
+    "frontend_btb_mpki",
+    "frontend_resteers_total",
+    "frontend_stall_cycles_total",
+    "btb_misses_total",
+    "btb_occupancy",
+    "btbm_occupancy",
+    "btbm_delta_entries",
+    "pdede_delta_hits_total",
+    "pdede_pointer_hits_total",
+    "page_btb_occupancy",
+    "page_btb_dedup_hits_total",
+    "region_btb_occupancy",
+    "icache_misses_total",
+    "ras_pushes_total",
+    "harness_result_cache_total",
+    "harness_simulation_seconds",
+)
+
+
+def test_simulate_cli_emits_metrics_and_trace(tmp_path):
+    from repro.cli import main
+    from repro.experiments.harness import clear_cache
+
+    clear_cache()  # guarantee a fresh simulation so metrics are published
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.jsonl"
+    code = main([
+        "--scale", "tiny", "simulate",
+        "--app", "server_oltp_00", "--design", "pdede-default",
+        "--metrics-out", str(metrics_path),
+        "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    snapshot = json.loads(metrics_path.read_text())
+    for name in EXPECTED_PDEDE_METRICS:
+        assert name in snapshot, name
+    # Every frontend series is labelled with the app and design.
+    (ipc_series,) = snapshot["frontend_ipc"]["series"]
+    assert ipc_series["labels"] == {
+        "app": "server_oltp_00", "design": "PDede[default]",
+    }
+    assert ipc_series["value"] > 0
+    records = read_jsonl(str(trace_path))
+    names = [record["name"] for record in records]
+    assert "simulate" in names
+    assert "trace-gen" in names
+    simulate = next(r for r in records if r["name"] == "simulate")
+    nested = [r for r in records if r["parent_id"] == simulate["span_id"]]
+    assert nested, "simulate span must have nested children"
+    clear_cache()
+
+
+def test_simulate_cli_positional_and_flag_mix(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["--scale", "tiny", "simulate", "server_oltp_00",
+                 "--design", "baseline"]) == 0
+    assert "IPC" in capsys.readouterr().out
+    assert main(["--scale", "tiny", "simulate"]) == 2
+    assert "needs an application" in capsys.readouterr().err
+
+
+def test_cli_epilog_lists_registries():
+    from repro.cli import build_parser
+
+    epilog = build_parser().epilog
+    assert "pdede-multi-entry" in epilog
+    assert "fig10" in epilog
+    assert "ablation-stale" in epilog
+
+
+def test_baseline_metrics_surface():
+    from repro.btb.baseline import BaselineBTB
+    from repro.branch.types import BranchEvent, BranchKind
+
+    btb = BaselineBTB(entries=64, ways=4)
+    event = BranchEvent(pc=0x1000, kind=BranchKind.UNCOND_DIRECT,
+                        taken=True, target=0x2000, instr_gap=3)
+    btb.observe(event)
+    btb.observe(event)
+    data = btb.metrics()
+    assert data["btb_lookups_total"] == 2
+    assert data["btb_misses_total"] == 1
+    assert data["btb_hits_total"] == 1
+    assert data["btb_occupancy"] == 1
+    assert data["btb_entries"] == 64
+    assert btb.stats.to_dict()["misses_by_kind"] == {"UNCOND_DIRECT": 1}
