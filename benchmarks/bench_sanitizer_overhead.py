@@ -1,0 +1,61 @@
+"""Sanitizer overhead: the armed checker must stay under 10%.
+
+The sanitizer's contract mirrors the obs layer's: disabled (the
+default), ``sanitizer_step`` is a global load plus a ``None`` test --
+nothing the hot loop can feel.  Armed at the default interval, full
+invariant sweeps amortise to a bounded tax.  This benchmark holds both
+claims on a smoke-scale PDede simulation: disabled overhead within
+noise of the seed, armed overhead under ``MAX_OVERHEAD``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.checks.sanitizer import DEFAULT_CHECK_INTERVAL, Sanitizer, use_sanitizer
+from repro.experiments.designs import pdede_design
+from repro.frontend.simulator import FrontendSimulator
+from repro.workloads.suite import get_trace
+
+from conftest import run_once
+
+#: Maximum tolerated wall-time regression with the sanitizer armed at
+#: its default interval.
+MAX_OVERHEAD = 0.10
+
+
+def _simulate(trace, design):
+    btb, kwargs = design.build()
+    return FrontendSimulator(btb, **kwargs).run(trace, warmup_fraction=0.3)
+
+
+def _best_of(n, trace, design):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        _simulate(trace, design)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sanitizer_overhead_under_10_percent(benchmark):
+    design = pdede_design()
+    trace = get_trace("server_oltp_00")  # smoke scale via conftest
+    _simulate(trace, design)  # warm the trace cache and code paths
+
+    disabled = _best_of(3, trace, design)
+    with use_sanitizer(Sanitizer(interval=DEFAULT_CHECK_INTERVAL)) as sanitizer:
+        armed = _best_of(3, trace, design)
+        checks = sanitizer.snapshot()["sanitizer_checks_total"]
+
+    overhead = armed / disabled - 1.0
+    print(
+        f"\nsanitizer overhead: disabled {disabled:.3f}s, armed {armed:.3f}s "
+        f"({overhead:+.2%}, budget {MAX_OVERHEAD:.0%}, {checks} sweeps "
+        f"at interval {DEFAULT_CHECK_INTERVAL})"
+    )
+    assert checks > 0, "interval too large: the sweep never ran"
+    assert overhead < MAX_OVERHEAD, (
+        f"sanitizer overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%}"
+    )
+    run_once(benchmark, _simulate, trace, design)

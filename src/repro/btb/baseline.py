@@ -16,6 +16,7 @@ from repro.branch.address import ADDRESS_BITS, hash_pc
 from repro.branch.types import BranchEvent
 from repro.btb.base import BTBLookup, BranchTargetPredictor
 from repro.btb.replacement import make_replacement_policy
+from repro.checks.sanitizer import sanitizer_step
 
 
 class BaselineBTB(BranchTargetPredictor):
@@ -121,6 +122,7 @@ class BaselineBTB(BranchTargetPredictor):
 
     def update(self, event: BranchEvent) -> None:
         self.stats.updates += 1
+        sanitizer_step(self)
         if not event.taken:
             return
         if event.kind.is_indirect and not self.allocate_indirect:

@@ -13,6 +13,8 @@ returns a miss.
 
 from __future__ import annotations
 
+from repro.checks.sanitizer import sanitizer_step
+
 
 class ReturnAddressStack:
     """Bounded call/return stack with wrap-around overwrite semantics."""
@@ -31,6 +33,7 @@ class ReturnAddressStack:
 
     def push(self, return_address: int) -> None:
         """Record the fall-through address of a call."""
+        sanitizer_step(self)
         if self._size == self.depth:
             self.overflows += 1
         else:
@@ -41,6 +44,7 @@ class ReturnAddressStack:
 
     def pop(self) -> int | None:
         """Predict the target of a return; None when the stack is empty."""
+        sanitizer_step(self)
         self.pops += 1
         if self._size == 0:
             self.underflows += 1

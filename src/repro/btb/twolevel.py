@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.branch.types import BranchEvent
 from repro.btb.base import BTBLookup, BranchTargetPredictor
+from repro.checks.sanitizer import sanitizer_step
 
 
 class TwoLevelBTB(BranchTargetPredictor):
@@ -66,6 +67,7 @@ class TwoLevelBTB(BranchTargetPredictor):
 
     def update(self, event: BranchEvent) -> None:
         self.stats.updates += 1
+        sanitizer_step(self)
         # The resolved branch trains both levels; the L0 thereby serves as
         # a fill target for anything the L1 can provide next time.
         self.level0.update(event)

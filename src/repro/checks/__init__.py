@@ -1,0 +1,71 @@
+"""repro.checks: determinism linter + microarchitectural sanitizer.
+
+Two engines behind one front door (``python -m repro check``):
+
+* :mod:`repro.checks.lint` / :mod:`repro.checks.rules` -- an AST pass
+  over the source tree that flags constructs which silently break
+  run-to-run reproducibility or bit-level fidelity (unseeded RNGs,
+  unordered-set iteration, float equality, wall-clock/env reads in hot
+  paths, shifts past declared field widths, unguarded divisions, ...).
+* :mod:`repro.checks.sanitizer` -- an opt-in runtime invariant checker
+  the BTB structures call at configurable intervals; violations raise
+  :class:`~repro.checks.sanitizer.InvariantViolation` with the
+  offending set/way and a state snapshot.  Disabled (the default) it is
+  a null hook, mirroring :mod:`repro.obs`.
+
+See README "Static checks & sanitizer" and DESIGN.md "Runtime
+invariants" for the rule/invariant catalogue.
+"""
+
+# Only the sanitizer loads eagerly: it is a leaf module whose hook the
+# BTB structures import at module scope.  The lint side is exposed
+# lazily (PEP 562) because repro.checks.rules imports
+# repro.storage.bits, which reaches back into the btb layer -- an
+# eager import here would close a cycle through any
+# ``from repro.checks.sanitizer import sanitizer_step``.
+from repro.checks.sanitizer import (
+    DEFAULT_CHECK_INTERVAL,
+    InvariantViolation,
+    NullSanitizer,
+    Sanitizer,
+    disable_sanitizer,
+    enable_sanitizer,
+    get_sanitizer,
+    sanitizer_enabled,
+    sanitizer_step,
+    use_sanitizer,
+)
+
+_LINT_EXPORTS = {
+    "FileContext": "repro.checks.lint",
+    "LintFinding": "repro.checks.lint",
+    "LintRule": "repro.checks.lint",
+    "iter_python_files": "repro.checks.lint",
+    "lint_file": "repro.checks.lint",
+    "lint_source": "repro.checks.lint",
+    "run_lint": "repro.checks.lint",
+    "ALL_RULES": "repro.checks.rules",
+}
+
+__all__ = [
+    "DEFAULT_CHECK_INTERVAL",
+    "InvariantViolation",
+    "NullSanitizer",
+    "Sanitizer",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "get_sanitizer",
+    "sanitizer_enabled",
+    "sanitizer_step",
+    "use_sanitizer",
+    *sorted(_LINT_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LINT_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

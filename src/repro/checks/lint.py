@@ -1,0 +1,167 @@
+"""Determinism & fidelity linter: engine, findings, and the file walker.
+
+A small ruff-plugin-style framework over the stdlib ``ast`` module.  Each
+rule is a :class:`LintRule` subclass registered in
+:mod:`repro.checks.rules`; the engine parses every Python file once,
+hands the tree to each rule, and collects :class:`LintFinding` records.
+
+Why a bespoke linter: the properties that make this reproduction *trust-
+worthy* are not generic style issues.  A single unseeded ``random`` call
+or an iteration over an unordered ``set`` silently changes simulation
+results between runs, and a shift past a declared field width corrupts a
+reconstructed target without raising.  Generic tools do not know the
+repo's 57-bit address layout or its hot lookup/update paths; these rules
+do (see README "Static checks & sanitizer").
+
+Suppression: a trailing ``# noqa`` comment silences every rule on that
+line, ``# noqa: REP001,REP007`` silences the listed codes only.  The
+project policy (ISSUE 2) is to *fix* findings, so suppressions should be
+rare and justified in an adjacent comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintFinding",
+    "LintRule",
+    "FileContext",
+    "lint_file",
+    "lint_source",
+    "run_lint",
+    "iter_python_files",
+]
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render ruff-style: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared by every rule: path, source, noqa map."""
+
+    path: str
+    source: str
+    #: line number -> set of suppressed codes; ``{"*"}`` suppresses all.
+    noqa: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<memory>") -> "FileContext":
+        noqa: dict[int, set[str]] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes:
+                noqa[number] = {code.strip().upper() for code in codes.split(",") if code.strip()}
+            else:
+                noqa[number] = {"*"}
+        return cls(path=path, source=source, noqa=noqa)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return "*" in codes or code in codes
+
+
+class LintRule:
+    """Base class for one determinism/fidelity rule.
+
+    Subclasses set ``code`` (REPnnn), ``name`` (kebab-case slug), and
+    ``summary`` (one line for ``--explain`` style listings), then
+    implement :meth:`check` yielding ``(node, message)`` pairs.
+    """
+
+    code: str = "REP000"
+    name: str = "abstract-rule"
+    summary: str = ""
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def run(self, tree: ast.Module, ctx: FileContext) -> Iterator[LintFinding]:
+        for node, message in self.check(tree, ctx):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if ctx.suppressed(line, self.code):
+                continue
+            yield LintFinding(ctx.path, line, col, self.code, message)
+
+
+def _all_rules() -> list[LintRule]:
+    # Imported lazily so rules.py may import engine helpers freely.
+    from repro.checks.rules import ALL_RULES
+
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def lint_source(
+    source: str, path: str = "<memory>", rules: Iterable[LintRule] | None = None
+) -> list[LintFinding]:
+    """Lint one source string; the unit tests' entry point."""
+    ctx = FileContext.from_source(source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            LintFinding(
+                path,
+                error.lineno or 1,
+                error.offset or 0,
+                "REP000",
+                f"syntax error: {error.msg}",
+            )
+        ]
+    findings: list[LintFinding] = []
+    for rule in rules if rules is not None else _all_rules():
+        findings.extend(rule.run(tree, ctx))
+    return sorted(findings, key=lambda finding: finding.sort_key)
+
+
+def lint_file(path: Path, rules: Iterable[LintRule] | None = None) -> list[LintFinding]:
+    return lint_source(path.read_text(), str(path), rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted (deterministic) order."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_lint(
+    paths: Iterable[Path | str], rules: Iterable[LintRule] | None = None
+) -> list[LintFinding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    rule_objects = list(rules) if rules is not None else _all_rules()
+    findings: list[LintFinding] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        findings.extend(lint_file(file_path, rule_objects))
+    return sorted(findings, key=lambda finding: finding.sort_key)

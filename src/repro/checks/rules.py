@@ -1,0 +1,594 @@
+"""The determinism & fidelity rules (REP001..REP010).
+
+Each rule encodes one way a simulator silently stops being reproducible
+or faithful to the modelled hardware:
+
+==========  ======================  ==========================================
+code        name                    catches
+==========  ======================  ==========================================
+``REP001``  unseeded-random         module-level ``random.*`` (shared RNG)
+``REP002``  set-iteration-order     iterating an unordered ``set`` expression
+``REP003``  float-equality          ``==`` / ``!=`` against a float literal
+``REP004``  time-in-hot-path        wall-clock reads inside lookup/update paths
+``REP005``  env-in-hot-path         environment reads inside lookup/update paths
+``REP006``  bit-width               shifts/masks past the declared field widths
+``REP007``  unguarded-len-division  ``x / len(y)`` with no emptiness guard
+``REP008``  fs-iteration-order      ``os.listdir``/``glob`` without ``sorted``
+``REP009``  builtin-hash            ``hash()`` (PYTHONHASHSEED-dependent)
+``REP010``  identity-ordering       ``id()`` (address-dependent values)
+==========  ======================  ==========================================
+
+The bit-width rule folds shift amounts over the declared widths of
+:data:`repro.storage.bits.DECLARED_FIELD_WIDTHS` (the same registry the
+runtime sanitizer checks stored values against), so e.g.
+``x >> (ADDRESS_BITS + 10)`` is caught statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint import FileContext, LintRule
+from repro.storage.bits import DECLARED_FIELD_WIDTHS, MAX_MODEL_BITS
+
+__all__ = ["ALL_RULES"]
+
+#: Function names that form the simulator's per-event hot paths.  Rules
+#: REP004/REP005 ban wall-clock and environment reads inside these: a
+#: result that depends on when/where a run happened is not reproducible,
+#: and no modelled structure consults wall time.
+HOT_PATH_FUNCTIONS = frozenset(
+    {
+        "lookup",
+        "update",
+        "observe",
+        "allocate",
+        "victim",
+        "on_hit",
+        "on_insert",
+        "touch",
+        "read",
+        "push",
+        "pop",
+        "record_outcome",
+        "events",
+    }
+)
+
+#: ``random`` module functions that consume the shared global RNG.
+_GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+#: Method names known to return ``set`` objects in this codebase.
+_SET_RETURNING_METHODS = frozenset(
+    {
+        "unique_values",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+    }
+)
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+class UnseededRandomRule(LintRule):
+    """REP001: calls into the process-global ``random`` RNG.
+
+    The shared RNG's stream depends on import order and on every other
+    consumer in the process; simulator components must draw from an
+    explicitly seeded ``random.Random(seed)`` instance instead (as the
+    workload generator and ``RandomPolicy`` already do).
+    """
+
+    code = "REP001"
+    name = "unseeded-random"
+    summary = "module-level random.* call uses the shared unseeded RNG"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        from_imports: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RNG_FUNCTIONS:
+                        from_imports.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in _GLOBAL_RNG_FUNCTIONS
+            ):
+                yield node, (
+                    f"random.{func.attr}() draws from the shared global RNG; "
+                    "use an explicitly seeded random.Random(seed) instance"
+                )
+            elif isinstance(func, ast.Name) and func.id in from_imports:
+                yield node, (
+                    f"{func.id}() (from random) draws from the shared global RNG; "
+                    "use an explicitly seeded random.Random(seed) instance"
+                )
+
+
+class SetIterationRule(LintRule):
+    """REP002: iteration over an expression of unordered ``set`` type.
+
+    Set iteration order varies with PYTHONHASHSEED and insertion
+    history; any simulator decision derived from it (tie-breaks,
+    invalidation sweeps, report rows) silently differs between runs.
+    Wrap the iterable in ``sorted(...)`` to pin the order.
+    """
+
+    code = "REP002"
+    name = "set-iteration-order"
+    summary = "iteration over an unordered set expression"
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_RETURNING_METHODS:
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)
+        ):
+            return cls._is_set_expr(node.left) or cls._is_set_expr(node.right)
+        return False
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        iterables: list[ast.AST] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if self._is_set_expr(iterable):
+                yield iterable, (
+                    "iterating an unordered set: the order depends on hashing "
+                    "and insertion history; wrap in sorted(...) to make it "
+                    "deterministic"
+                )
+
+
+class FloatEqualityRule(LintRule):
+    """REP003: ``==`` / ``!=`` against a float literal.
+
+    The timing model accumulates cycles as floats; exact comparison
+    against a float literal flips with any re-association of the
+    arithmetic.  Compare with a tolerance, or restructure to integers.
+    """
+
+    code = "REP003"
+    name = "float-equality"
+    summary = "exact equality comparison against a float literal"
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return FloatEqualityRule._is_float_literal(node.operand)
+        return False
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._is_float_literal(left) or self._is_float_literal(right):
+                    yield node, (
+                        "exact ==/!= against a float literal is brittle under "
+                        "re-associated arithmetic; use a tolerance (math.isclose) "
+                        "or integer state"
+                    )
+
+
+class _HotPathCallRule(LintRule):
+    """Shared machinery for REP004/REP005: banned calls in hot functions."""
+
+    def _banned(self, node: ast.Call) -> str | None:
+        raise NotImplementedError
+
+    def _message(self, what: str, function: str) -> str:
+        raise NotImplementedError
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        parents = _parent_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._banned(node)
+            if what is None:
+                continue
+            function = _enclosing_function(node, parents)
+            if function is not None and function.name in HOT_PATH_FUNCTIONS:
+                yield node, self._message(what, function.name)
+
+
+class TimeInHotPathRule(_HotPathCallRule):
+    """REP004: wall-clock reads inside lookup/update hot paths.
+
+    Modelled hardware has no wall clock; a ``time.*`` read in a hot path
+    either leaks host timing into simulated behaviour or adds per-event
+    overhead the obs layer was explicitly designed to avoid.
+    """
+
+    code = "REP004"
+    name = "time-in-hot-path"
+    summary = "wall-clock read inside a simulator hot path"
+
+    def _banned(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "time":
+                return f"time.{func.attr}()"
+            if func.value.id == "datetime" and func.attr in {"now", "utcnow", "today"}:
+                return f"datetime.{func.attr}()"
+        if isinstance(func, ast.Name) and func.id in {
+            "perf_counter",
+            "monotonic",
+            "process_time",
+        }:
+            return f"{func.id}()"
+        return None
+
+    def _message(self, what: str, function: str) -> str:
+        return (
+            f"{what} inside hot path {function}(): simulated structures must "
+            "not consult wall time (publish aggregates once per run instead)"
+        )
+
+
+class EnvInHotPathRule(_HotPathCallRule):
+    """REP005: environment reads inside lookup/update hot paths.
+
+    Environment lookups belong in configuration loading, once, at the
+    edge; a hot-path read makes per-event behaviour depend on ambient
+    process state and is invisible to the run's recorded config.
+    """
+
+    code = "REP005"
+    name = "env-in-hot-path"
+    summary = "environment read inside a simulator hot path"
+
+    def _banned(self, node: ast.Call) -> str | None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+            and func.attr == "getenv"
+        ):
+            return "os.getenv()"
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id == "os"
+                and inner.attr == "environ"
+            ):
+                return f"os.environ.{func.attr}()"
+        return None
+
+    def _message(self, what: str, function: str) -> str:
+        return (
+            f"{what} inside hot path {function}(): read the environment once "
+            "at configuration time, not per event"
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        yield from super().check(tree, ctx)
+        # os.environ[...] subscripts are not calls; catch them separately.
+        parents = _parent_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "os"
+                and value.attr == "environ"
+            ):
+                function = _enclosing_function(node, parents)
+                if function is not None and function.name in HOT_PATH_FUNCTIONS:
+                    yield node, self._message("os.environ[...]", function.name)
+
+
+class BitWidthRule(LintRule):
+    """REP006: shifts / masks exceeding the declared field widths.
+
+    Constant-folds shift amounts and mask widths over integer literals
+    and the named width constants of
+    :data:`repro.storage.bits.DECLARED_FIELD_WIDTHS`; anything past the
+    64-bit model ceiling (or negative) would silently corrupt a
+    reconstructed target -- Python ints neither wrap nor raise.
+    """
+
+    code = "REP006"
+    name = "bit-width"
+    summary = "shift or mask exceeds the declared field widths"
+
+    @staticmethod
+    def _fold(node: ast.AST) -> int | None:
+        """Fold an int expression of literals and known width names."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            return DECLARED_FIELD_WIDTHS.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return DECLARED_FIELD_WIDTHS.get(node.attr)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = BitWidthRule._fold(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            left = BitWidthRule._fold(node.left)
+            right = BitWidthRule._fold(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            return left * right
+        return None
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.LShift, ast.RShift)):
+                amount = self._fold(node.right)
+                if amount is None:
+                    continue
+                # ``1 << n`` is mask construction (2**n), legitimate at any
+                # width -- branch history registers span hundreds of bits.
+                # Shifting *data* past the model width loses or fabricates
+                # bits silently.
+                is_mask = (
+                    isinstance(node.op, ast.LShift)
+                    and isinstance(node.left, ast.Constant)
+                    and node.left.value == 1
+                )
+                if amount < 0 or (amount > MAX_MODEL_BITS and not is_mask):
+                    yield node, (
+                        f"shift by {amount} exceeds the {MAX_MODEL_BITS}-bit model "
+                        "(declared widths: "
+                        + ", ".join(f"{k}={v}" for k, v in sorted(DECLARED_FIELD_WIDTHS.items()))
+                        + ")"
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitAnd):
+                for side in (node.left, node.right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, int)
+                        and side.value.bit_length() > MAX_MODEL_BITS
+                    ):
+                        yield node, (
+                            f"mask literal of {side.value.bit_length()} bits exceeds "
+                            f"the {MAX_MODEL_BITS}-bit model"
+                        )
+
+
+class UnguardedLenDivisionRule(LintRule):
+    """REP007: division by ``len(...)`` with no emptiness guard.
+
+    ``sum(xs) / len(xs)`` on an empty collection raises only on the
+    input that exercises it -- typically a degenerate workload nobody
+    ran locally.  A guard is any ``if``/``while``/``assert``/ternary in
+    the same function that mentions the ``len`` argument.
+    """
+
+    code = "REP007"
+    name = "unguarded-len-division"
+    summary = "division by len(...) without an emptiness guard"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        parents = _parent_map(tree)
+        guard_dumps: dict[ast.AST | None, set[str]] = {}
+
+        def guards_for(scope: ast.AST | None) -> set[str]:
+            if scope not in guard_dumps:
+                dumps: set[str] = set()
+                nodes = ast.walk(scope) if scope is not None else ast.walk(tree)
+                for node in nodes:
+                    tests: list[ast.AST] = []
+                    if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                        tests.append(node.test)
+                    elif isinstance(node, ast.Assert):
+                        tests.append(node.test)
+                    elif isinstance(node, ast.comprehension):
+                        tests.extend(node.ifs)
+                    for test in tests:
+                        for sub in ast.walk(test):
+                            dumps.add(ast.dump(sub))
+                guard_dumps[scope] = dumps
+            return guard_dumps[scope]
+
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod))
+            ):
+                continue
+            denominator = node.right
+            if not (
+                isinstance(denominator, ast.Call)
+                and isinstance(denominator.func, ast.Name)
+                and denominator.func.id == "len"
+                and len(denominator.args) == 1
+            ):
+                continue
+            scope = _enclosing_function(node, parents)
+            if ast.dump(denominator.args[0]) in guards_for(scope):
+                continue
+            yield node, (
+                "division by len(...) with no emptiness guard in the enclosing "
+                "function: an empty input raises ZeroDivisionError"
+            )
+
+
+class FsIterationOrderRule(LintRule):
+    """REP008: filesystem listings consumed without ``sorted``.
+
+    ``os.listdir`` / ``glob`` return entries in filesystem order, which
+    differs across machines and runs; any result derived from the order
+    is irreproducible.  Wrap the call in ``sorted(...)``.
+    """
+
+    code = "REP008"
+    name = "fs-iteration-order"
+    summary = "filesystem listing consumed without sorted(...)"
+
+    @staticmethod
+    def _is_fs_listing(node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "os" and func.attr in {"listdir", "scandir"}:
+                return f"os.{func.attr}()"
+            if func.value.id == "glob" and func.attr in {"glob", "iglob"}:
+                return f"glob.{func.attr}()"
+        if isinstance(func, ast.Attribute) and func.attr in {"iterdir", "rglob"}:
+            return f".{func.attr}()"
+        return None
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        parents = _parent_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._is_fs_listing(node)
+            if what is None:
+                continue
+            ancestor = parents.get(node)
+            wrapped = False
+            while ancestor is not None and not isinstance(ancestor, ast.stmt):
+                if (
+                    isinstance(ancestor, ast.Call)
+                    and isinstance(ancestor.func, ast.Name)
+                    and ancestor.func.id == "sorted"
+                ):
+                    wrapped = True
+                    break
+                ancestor = parents.get(ancestor)
+            if not wrapped:
+                yield node, (
+                    f"{what} returns entries in filesystem order; wrap in "
+                    "sorted(...) for run-to-run stability"
+                )
+
+
+class BuiltinHashRule(LintRule):
+    """REP009: the ``hash()`` builtin.
+
+    ``hash(str)`` / ``hash(bytes)`` are salted per process by
+    PYTHONHASHSEED, so anything derived from them differs between runs.
+    Simulator hashing must go through the explicit ``mix64`` /
+    ``hash_pc`` avalanche functions.
+    """
+
+    code = "REP009"
+    name = "builtin-hash"
+    summary = "hash() is PYTHONHASHSEED-dependent"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield node, (
+                    "hash() is salted per process (PYTHONHASHSEED); use "
+                    "repro.branch.address.mix64/hash_pc for deterministic hashing"
+                )
+
+
+class IdentityOrderingRule(LintRule):
+    """REP010: the ``id()`` builtin.
+
+    Object addresses vary run to run; keys, ordering, or tie-breaks
+    built on ``id()`` are irreproducible (and break under compaction).
+    """
+
+    code = "REP010"
+    name = "identity-ordering"
+    summary = "id() values vary between runs"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                yield node, (
+                    "id() is an object address and varies between runs; key "
+                    "structures by stable identifiers instead"
+                )
+
+
+ALL_RULES: tuple[type[LintRule], ...] = (
+    UnseededRandomRule,
+    SetIterationRule,
+    FloatEqualityRule,
+    TimeInHotPathRule,
+    EnvInHotPathRule,
+    BitWidthRule,
+    UnguardedLenDivisionRule,
+    FsIterationOrderRule,
+    BuiltinHashRule,
+    IdentityOrderingRule,
+)

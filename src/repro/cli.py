@@ -7,17 +7,21 @@ Commands:
 * ``simulate``      -- run one (application, design) pair, print metrics.
 * ``experiment``    -- run a paper figure/table by id and print its rows.
 * ``report``        -- run the whole evaluation, emit a markdown report.
+* ``check``         -- determinism linter and/or sanitized simulation.
 
 ``simulate``, ``experiment``, and ``report`` share the observability
 flags (README "Observability"): ``--metrics-out FILE.json`` dumps the
 metrics-registry snapshot, ``--trace-out FILE.jsonl`` dumps the span
-tree, ``--progress`` streams span completions to stderr.
+tree, ``--progress`` streams span completions to stderr.  ``simulate``
+and ``experiment`` also take ``--sanitize`` (README "Static checks &
+sanitizer") to run with the microarchitectural invariant checker armed.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 
 from repro.core.config import PDedeMode
@@ -151,6 +155,64 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Front door for both engines: lint and/or a sanitized simulation.
+
+    With no engine flag, lints (the cheap, always-applicable engine).
+    Exit status is 1 when either engine finds anything.
+    """
+    run_linter = args.lint or not args.sanitize
+    failed = False
+    if run_linter:
+        from repro.checks.lint import run_lint
+
+        paths = args.paths
+        if not paths:
+            # Default target: the installed repro package source itself.
+            import repro
+
+            paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+        findings = run_lint(paths)
+        for finding in findings:
+            print(finding.format())
+        print(f"lint: {len(findings)} finding(s) in {len(paths)} path(s)",
+              file=sys.stderr)
+        failed |= bool(findings)
+    if args.sanitize:
+        from repro.checks.sanitizer import (
+            DEFAULT_CHECK_INTERVAL,
+            InvariantViolation,
+            Sanitizer,
+            use_sanitizer,
+        )
+        from repro.frontend.simulator import FrontendSimulator
+        from repro.workloads.suite import get_trace
+
+        registry = _design_registry()
+        if args.design not in registry:
+            print(f"unknown design {args.design!r}; options: {sorted(registry)}",
+                  file=sys.stderr)
+            return 2
+        design = registry[args.design]
+        trace = get_trace(args.sanitize, args.scale)
+        btb, simulator_kwargs = design.build()
+        simulator = FrontendSimulator(btb, **simulator_kwargs)
+        interval = args.interval or DEFAULT_CHECK_INTERVAL
+        try:
+            with use_sanitizer(Sanitizer(interval=interval)) as sanitizer:
+                simulator.run(trace, warmup_fraction=args.warmup)
+                snapshot = sanitizer.snapshot()
+            print(f"sanitize: {args.sanitize} x {design.key}: OK "
+                  f"({snapshot['sanitizer_checks_total']} checks over "
+                  f"{snapshot['sanitizer_steps_total']} steps)", file=sys.stderr)
+        except InvariantViolation as violation:
+            print(f"sanitize: {args.sanitize} x {design.key}: FAILED",
+                  file=sys.stderr)
+            print(violation, file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -189,6 +251,20 @@ def _epilog() -> str:
         + _wrap(sorted(_design_registry()))
         + "\n\nexperiment ids (experiment ID):\n"
         + _wrap(sorted(_experiment_registry()))
+    )
+
+
+def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("sanitizer")
+    group.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the microarchitectural invariant checker armed "
+             "(disables the result cache so simulations actually execute)",
+    )
+    group.add_argument(
+        "--sanitize-interval", type=int, default=None, metavar="N",
+        help="structure updates between two invariant sweeps "
+             "(default: repro.checks.DEFAULT_CHECK_INTERVAL)",
     )
 
 
@@ -242,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="design key (alternative to positional)")
     simulate.add_argument("--warmup", type=float, default=0.3)
     _add_obs_flags(simulate)
+    _add_sanitize_flags(simulate)
 
     experiment = sub.add_parser(
         "experiment", help="run a paper figure/table by id",
@@ -249,10 +326,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("id")
     _add_obs_flags(experiment)
+    _add_sanitize_flags(experiment)
 
     report = sub.add_parser("report", help="run the full evaluation matrix")
     report.add_argument("--output", "-o", default=None)
     _add_obs_flags(report)
+
+    check = sub.add_parser(
+        "check", help="determinism linter and/or sanitized simulation",
+        epilog=_epilog(), formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    check.add_argument(
+        "paths", nargs="*", default=[],
+        help="files/directories to lint (default: the repro package)",
+    )
+    check.add_argument(
+        "--lint", action="store_true",
+        help="run the determinism linter (the default when no engine "
+             "flag is given)",
+    )
+    check.add_argument(
+        "--sanitize", metavar="APP", default=None,
+        help="simulate APP with the invariant checker armed",
+    )
+    check.add_argument(
+        "--design", default="pdede-multi-entry",
+        help="design to sanitize (default: pdede-multi-entry)",
+    )
+    check.add_argument(
+        "--interval", type=int, default=None, metavar="N",
+        help="updates between invariant sweeps "
+             "(default: repro.checks.DEFAULT_CHECK_INTERVAL)",
+    )
+    check.add_argument("--warmup", type=float, default=0.3)
 
     return parser
 
@@ -263,7 +369,35 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "experiment": cmd_experiment,
     "report": cmd_report,
+    "check": cmd_check,
 }
+
+
+@contextlib.contextmanager
+def _sanitization(args: argparse.Namespace):
+    """Scope ``--sanitize`` on simulate/experiment: arm the checker and
+    disable the memo-cache so simulations actually execute (a cache hit
+    would silently skip the sweeps being asked for)."""
+    if not getattr(args, "sanitize", None) or args.command == "check":
+        yield
+        return
+    from repro.checks.sanitizer import DEFAULT_CHECK_INTERVAL, Sanitizer, use_sanitizer
+
+    interval = getattr(args, "sanitize_interval", None) or DEFAULT_CHECK_INTERVAL
+    previous_cache = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = "0"
+    try:
+        with use_sanitizer(Sanitizer(interval=interval)) as sanitizer:
+            yield
+            snapshot = sanitizer.snapshot()
+            print(f"sanitizer: OK ({snapshot['sanitizer_checks_total']} checks "
+                  f"over {snapshot['sanitizer_steps_total']} steps)",
+                  file=sys.stderr)
+    finally:
+        if previous_cache is None:
+            del os.environ["REPRO_RESULT_CACHE"]
+        else:
+            os.environ["REPRO_RESULT_CACHE"] = previous_cache
 
 
 @contextlib.contextmanager
@@ -307,7 +441,7 @@ def _observability(args: argparse.Namespace):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    with _observability(args):
+    with _observability(args), _sanitization(args):
         return _COMMANDS[args.command](args)
 
 

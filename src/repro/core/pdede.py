@@ -42,6 +42,7 @@ from repro.branch.address import (
 from repro.branch.types import BranchEvent
 from repro.btb.base import BTBLookup, BranchTargetPredictor
 from repro.btb.replacement import make_replacement_policy
+from repro.checks.sanitizer import sanitizer_step
 from repro.core.config import PDedeConfig, PDedeMode
 from repro.core.tables import DedupValueTable
 
@@ -204,10 +205,16 @@ class PDedeBTB(BranchTargetPredictor):
 
     def _invalidate_page_ptr(self, pointer: int) -> None:
         for set_index, way in self._page_ptr_users.pop(pointer, ()):  # pragma: no branch
+            # Unlink the entry's *other* pointer too: an invalidated entry
+            # left in the region user map would let a later Region-BTB
+            # eviction kill whatever unrelated branch re-allocates this
+            # slot (the sanitizer's link-balance invariant catches this).
+            self._unlink_pointers(set_index, way)
             self._valid[set_index][way] = False
 
     def _invalidate_region_ptr(self, pointer: int) -> None:
         for set_index, way in self._region_ptr_users.pop(pointer, ()):
+            self._unlink_pointers(set_index, way)
             self._valid[set_index][way] = False
 
     def _unlink_pointers(self, set_index: int, way: int) -> None:
@@ -300,6 +307,7 @@ class PDedeBTB(BranchTargetPredictor):
 
     def update(self, event: BranchEvent) -> None:
         self.stats.updates += 1
+        sanitizer_step(self)
         if not event.taken:
             return
         if event.kind.is_indirect and not self.config.allocate_indirect:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.branch.address import mix64
 from repro.btb.replacement import make_replacement_policy
+from repro.checks.sanitizer import sanitizer_step
 
 
 class DedupValueTable:
@@ -84,6 +85,7 @@ class DedupValueTable:
             raise ValueError(
                 f"value {value:#x} exceeds {self.value_bits} bits ({self.name})"
             )
+        sanitizer_step(self)
         set_index = self._set_of(value)
         valid = self._valid[set_index]
         values = self._values[set_index]

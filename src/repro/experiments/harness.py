@@ -163,6 +163,7 @@ class SuiteResult:
         return {
             category: math.exp(sum(math.log(max(v, 1e-9)) for v in vals) / len(vals))
             for category, vals in by_category.items()
+            if vals
         }
 
     def category_mean_mpki_reduction(self) -> dict[str, float]:
@@ -170,7 +171,9 @@ class SuiteResult:
         for name, reduction in self.mpki_reductions().items():
             by_category.setdefault(self.categories.get(name, "?"), []).append(reduction)
         return {
-            category: sum(vals) / len(vals) for category, vals in by_category.items()
+            category: sum(vals) / len(vals)
+            for category, vals in by_category.items()
+            if vals
         }
 
 

@@ -35,6 +35,7 @@ from repro.branch.types import BranchKind
 from repro.btb.base import BranchTargetPredictor
 from repro.btb.ittage import ITTagePredictor
 from repro.btb.ras import ReturnAddressStack
+from repro.checks.sanitizer import get_sanitizer
 from repro.frontend.icache import ICache
 from repro.frontend.params import CoreParams, ICELAKE
 from repro.frontend.stats import FrontendStats
@@ -326,6 +327,9 @@ class FrontendSimulator:
             by_kind.inc(count, kind=kind, **labels)
         registry.publish(self.icache.snapshot(), **labels)
         registry.publish(self.ras.snapshot(), **labels)
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled:
+            registry.publish(sanitizer.snapshot(), **labels)
 
 
 class _EventView:

@@ -9,9 +9,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.branch.address import ADDRESS_BITS
+from repro.branch.address import (
+    ADDRESS_BITS,
+    OFFSET_BITS,
+    PAGE_BITS,
+    PAGE_IN_REGION_BITS,
+    REGION_BITS,
+)
 from repro.btb.baseline import BaselineBTB
 from repro.core.config import PDedeConfig, PDedeMode
+
+#: Declared bit widths of every architectural field, by the constant
+#: names used throughout the codebase.  The determinism linter's
+#: bit-width rule (REP006 in :mod:`repro.checks.rules`) constant-folds
+#: shift/mask expressions against these, and the runtime sanitizer's
+#: field-width invariant checks stored values against the same widths --
+#: one registry, two enforcement points.
+DECLARED_FIELD_WIDTHS: dict[str, int] = {
+    "ADDRESS_BITS": ADDRESS_BITS,
+    "OFFSET_BITS": OFFSET_BITS,
+    "PAGE_IN_REGION_BITS": PAGE_IN_REGION_BITS,
+    "REGION_BITS": REGION_BITS,
+    "PAGE_BITS": PAGE_BITS,
+}
+
+#: Hard ceiling on any shift amount or mask width in the model: the
+#: address arithmetic is 64-bit (``mix64``), so a folded shift or mask
+#: beyond this is a bug, not a wide field.
+MAX_MODEL_BITS = 64
 
 
 @dataclass

@@ -68,6 +68,8 @@ def generate_trace(spec: WorkloadSpec, layout: CodeLayout | None = None) -> Trac
     fn_entry_addr = layout.fn_entry_addr
     indirect_lists = layout.indirect_lists
     phase_roots = layout.phase_roots
+    if not phase_roots or not all(roots for roots, _ in phase_roots):
+        raise ValueError(f"{spec.name}: layout has an empty phase root set")
     append = trace.append
 
     n_events = spec.n_events

@@ -179,6 +179,8 @@ def build_suite(scale: str | None = None) -> list[WorkloadSpec]:
     for category in ("Server", "Browser", "BP", "Personal"):
         template = CATEGORY_TEMPLATES[category]
         slugs = _CATEGORY_SLUGS[category]
+        if not slugs:
+            raise ValueError(f"no workload slugs defined for category {category!r}")
         for index in range(counts[category]):
             special = specials.get((category, index))
             if special is not None:

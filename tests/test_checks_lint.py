@@ -1,0 +1,265 @@
+"""The determinism linter: every rule catches its seeded violation,
+clean code passes, noqa suppresses, and the repo itself lints clean."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.checks.lint import lint_source, run_lint
+from repro.checks.rules import ALL_RULES
+
+
+def _codes(source: str) -> set[str]:
+    return {finding.code for finding in lint_source(textwrap.dedent(source))}
+
+
+# -- one seeded violation per rule ------------------------------------------
+
+
+def test_rep001_unseeded_random_module_call():
+    assert "REP001" in _codes(
+        """
+        import random
+
+        def pick(ways):
+            return random.randrange(ways)
+        """
+    )
+
+
+def test_rep001_unseeded_random_from_import():
+    assert "REP001" in _codes(
+        """
+        from random import shuffle
+
+        def scramble(items):
+            shuffle(items)
+        """
+    )
+
+
+def test_rep002_set_iteration():
+    assert "REP002" in _codes(
+        """
+        def sweep(entries):
+            for entry in set(entries):
+                print(entry)
+        """
+    )
+
+
+def test_rep002_set_returning_method():
+    assert "REP002" in _codes(
+        """
+        def dump(table):
+            return [v for v in table.unique_values()]
+        """
+    )
+
+
+def test_rep003_float_equality():
+    assert "REP003" in _codes(
+        """
+        def saturated(ipc):
+            return ipc == 1.0
+        """
+    )
+
+
+def test_rep004_time_in_hot_path():
+    assert "REP004" in _codes(
+        """
+        import time
+
+        class BTB:
+            def lookup(self, pc):
+                return time.perf_counter()
+        """
+    )
+
+
+def test_rep004_ignores_cold_paths():
+    assert "REP004" not in _codes(
+        """
+        import time
+
+        def benchmark():
+            return time.perf_counter()
+        """
+    )
+
+
+def test_rep005_env_in_hot_path():
+    assert "REP005" in _codes(
+        """
+        import os
+
+        class BTB:
+            def update(self, event):
+                return os.getenv("REPRO_SCALE")
+        """
+    )
+
+
+def test_rep005_environ_subscript_in_hot_path():
+    assert "REP005" in _codes(
+        """
+        import os
+
+        class Table:
+            def allocate(self, value):
+                return os.environ["REPRO_SCALE"]
+        """
+    )
+
+
+def test_rep006_shift_past_model_width():
+    assert "REP006" in _codes(
+        """
+        def region_of(pc):
+            return pc >> 99
+        """
+    )
+
+
+def test_rep006_folds_declared_widths():
+    # ADDRESS_BITS (57) + 10 = 67 > the 64-bit model ceiling.
+    assert "REP006" in _codes(
+        """
+        from repro.branch.address import ADDRESS_BITS
+
+        def broken(pc):
+            return pc >> (ADDRESS_BITS + 10)
+        """
+    )
+
+
+def test_rep006_allows_mask_construction():
+    # ``1 << n`` builds a mask (2**n) and is legal at any width --
+    # branch history registers span hundreds of bits.
+    assert "REP006" not in _codes(
+        """
+        HISTORY_MASK = (1 << 192) - 1
+        """
+    )
+
+
+def test_rep007_unguarded_len_division():
+    assert "REP007" in _codes(
+        """
+        def mean(values):
+            return sum(values) / len(values)
+        """
+    )
+
+
+def test_rep007_guard_suppresses():
+    assert "REP007" not in _codes(
+        """
+        def mean(values):
+            if not values:
+                return 0.0
+            return sum(values) / len(values)
+        """
+    )
+
+
+def test_rep008_unsorted_listdir():
+    assert "REP008" in _codes(
+        """
+        import os
+
+        def traces(root):
+            return [name for name in os.listdir(root)]
+        """
+    )
+
+
+def test_rep008_sorted_listing_passes():
+    assert "REP008" not in _codes(
+        """
+        import os
+
+        def traces(root):
+            return sorted(os.listdir(root))
+        """
+    )
+
+
+def test_rep009_builtin_hash():
+    assert "REP009" in _codes(
+        """
+        def index_of(name, sets):
+            return hash(name) % sets
+        """
+    )
+
+
+def test_rep010_identity_ordering():
+    assert "REP010" in _codes(
+        """
+        def stable_key(obj):
+            return id(obj)
+        """
+    )
+
+
+# -- engine behaviour --------------------------------------------------------
+
+
+def test_noqa_bare_suppresses_all():
+    source = "import random\nx = random.random()  # noqa\n"
+    assert lint_source(source) == []
+
+
+def test_noqa_with_code_suppresses_that_code_only():
+    source = "import random\nx = random.random()  # noqa: REP001\n"
+    assert lint_source(source) == []
+    wrong_code = "import random\nx = random.random()  # noqa: REP009\n"
+    assert {f.code for f in lint_source(wrong_code)} == {"REP001"}
+
+
+def test_syntax_error_reports_rep000():
+    findings = lint_source("def broken(:\n")
+    assert [f.code for f in findings] == ["REP000"]
+
+
+def test_clean_source_has_no_findings():
+    assert (
+        _codes(
+            """
+            import random
+
+            def pick(seed, ways):
+                rng = random.Random(seed)
+                return rng.randrange(ways)
+            """
+        )
+        == set()
+    )
+
+
+def test_findings_sorted_and_formatted():
+    source = "x = hash('a')\ny = id(x)\n"
+    findings = lint_source(source, path="demo.py")
+    assert [f.code for f in findings] == ["REP009", "REP010"]
+    assert findings[0].format().startswith("demo.py:1:")
+
+
+def test_rule_catalogue_is_large_enough():
+    # ISSUE acceptance: at least 8 distinct rules, each with code + docs.
+    assert len(ALL_RULES) >= 8
+    codes = [rule.code for rule in ALL_RULES]
+    assert len(set(codes)) == len(codes)
+    for rule in ALL_RULES:
+        assert rule.code.startswith("REP")
+        assert rule.summary
+
+
+def test_repo_source_lints_clean():
+    # ISSUE acceptance: the linter exits 0 on the repo's own source.
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    assert src.is_dir()
+    findings = run_lint([src])
+    assert findings == [], "\n".join(f.format() for f in findings)

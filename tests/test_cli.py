@@ -41,6 +41,49 @@ def test_experiment_unknown(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_check_lint_on_repo_exits_zero(capsys):
+    assert main(["check", "--lint"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().err
+
+
+def test_check_lint_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["check", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "REP001" in captured.out
+    assert "1 finding(s)" in captured.err
+
+
+def test_check_defaults_to_lint(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["check", str(clean)]) == 0
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_check_sanitize_runs_clean(capsys):
+    assert main(["--scale", "tiny", "check",
+                 "--sanitize", "server_oltp_00", "--interval", "512"]) == 0
+    err = capsys.readouterr().err
+    assert "sanitize: server_oltp_00" in err
+    assert "OK" in err
+
+
+def test_check_sanitize_unknown_design(capsys):
+    assert main(["--scale", "tiny", "check", "--sanitize", "server_oltp_00",
+                 "--design", "nonsense"]) == 2
+    assert "unknown design" in capsys.readouterr().err
+
+
+def test_simulate_with_sanitize_flag(capsys):
+    assert main(["--scale", "tiny", "simulate", "server_oltp_00", "baseline",
+                 "--sanitize", "--sanitize-interval", "512"]) == 0
+    captured = capsys.readouterr()
+    assert "IPC" in captured.out
+    assert "sanitizer: OK" in captured.err
+
+
 def test_parser_rejects_bad_scale():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--scale", "galactic", "list-apps"])
