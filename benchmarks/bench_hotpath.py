@@ -1,0 +1,168 @@
+"""Hot-path engine gate: decoded-trace speedup and bit-exactness.
+
+The decoded-trace engine (``FrontendSimulator._run_fast``) exists only
+if it is (a) fast and (b) invisible in the results.  This benchmark
+holds both, machine-independently, by racing the live engine against
+the frozen seed engine (:mod:`repro.frontend.seedref`) in the same
+process:
+
+* every standard design's :class:`FrontendStats` must be byte-identical
+  between the two engines (``to_dict()`` equality, nothing fuzzy);
+* the end-to-end speedup across the standard design sweep -- including
+  the one-time trace decode the fast engine pays -- must be at least
+  ``MIN_SPEEDUP``.
+
+``BENCH_hotpath.json`` checks in the measured trajectory (events/sec
+per engine) for trend tracking; the gate itself is the live ratio, so
+a slower CI machine cannot produce a false failure.
+
+Run directly (CI perf-budget job) or under pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --record
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.designs import standard_designs
+from repro.frontend.seedref import SeedFrontendSimulator, seed_counterpart
+from repro.frontend.simulator import FrontendSimulator
+from repro.obs.metrics import get_registry
+from repro.workloads.suite import current_scale, get_trace
+
+#: Required end-to-end speedup of the decoded-trace engine over the
+#: seed engine across the standard design sweep (ISSUE acceptance: 2x).
+MIN_SPEEDUP = 2.0
+
+#: App the gate races on (hot-set and branch mix representative; any
+#: suite member works -- results must match on all of them regardless).
+GATE_APP = "server_oltp_00"
+
+_RESULTS_FILE = Path(__file__).with_name("BENCH_hotpath.json")
+
+
+def _measure(run) -> tuple[float, object]:
+    start = time.perf_counter()
+    stats = run()
+    return time.perf_counter() - start, stats
+
+
+def race(trace) -> dict:
+    """Race both engines over the standard designs; returns the report.
+
+    The fast engine goes first *from a cold trace* so its wall time
+    includes the shared one-time decode -- the honest end-to-end cost a
+    fresh process pays.
+    """
+    designs = standard_designs()
+    fast_seconds = 0.0
+    seed_seconds = 0.0
+    mismatches = []
+    engines = {}
+    for key, design in designs.items():
+        btb, kwargs = design.build()
+        simulator = FrontendSimulator(btb, **kwargs)
+        elapsed, stats = _measure(
+            lambda s=simulator: s.run(trace, warmup_fraction=0.3)
+        )
+        fast_seconds += elapsed
+        engines[key] = simulator.last_engine
+
+        seed_btb, seed_kwargs = design.build()
+        reference = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs)
+        elapsed, seed_stats = _measure(
+            lambda s=reference: s.run(trace, warmup_fraction=0.3)
+        )
+        seed_seconds += elapsed
+
+        if stats.to_dict() != seed_stats.to_dict():
+            diffs = {
+                name: (value, seed_stats.to_dict()[name])
+                for name, value in stats.to_dict().items()
+                if value != seed_stats.to_dict()[name]
+            }
+            mismatches.append((key, diffs))
+
+    events = len(trace) * len(designs)
+    speedup = seed_seconds / fast_seconds if fast_seconds else float("inf")
+    return {
+        "scale": current_scale(),
+        "app": trace.name,
+        "designs": sorted(designs),
+        "engines": engines,
+        "events_simulated": events,
+        "fast_events_per_sec": round(events / fast_seconds) if fast_seconds else 0,
+        "seed_events_per_sec": round(events / seed_seconds) if seed_seconds else 0,
+        "speedup": round(speedup, 3),
+        "mismatches": mismatches,
+    }
+
+
+def run_gate(record: bool = False) -> dict:
+    trace = get_trace(GATE_APP)
+    report = race(trace)
+    get_registry().gauge(
+        "bench_hotpath_speedup", "decoded-trace engine speedup over the seed engine"
+    ).set(report["speedup"], scale=report["scale"])
+
+    assert not report["mismatches"], (
+        "decoded-trace engine diverged from the seed engine: "
+        f"{report['mismatches']}"
+    )
+    for key, engine in report["engines"].items():
+        assert engine == "fast", f"{key} fell back to the {engine} engine"
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"hot-path speedup {report['speedup']:.2f}x is below the "
+        f"{MIN_SPEEDUP:.1f}x budget "
+        f"({report['fast_events_per_sec']} vs {report['seed_events_per_sec']} events/s)"
+    )
+
+    if record:
+        history = []
+        if _RESULTS_FILE.exists():
+            history = json.loads(_RESULTS_FILE.read_text()).get("history", [])
+        history.append({k: v for k, v in report.items() if k != "mismatches"})
+        _RESULTS_FILE.write_text(
+            json.dumps({"min_speedup": MIN_SPEEDUP, "history": history}, indent=2)
+            + "\n"
+        )
+    return report
+
+
+def test_hotpath_speedup_and_equivalence(benchmark):
+    from conftest import run_once
+
+    report = run_gate(record=False)
+    print(
+        f"\nhot-path gate: {report['speedup']:.2f}x over seed engine "
+        f"(budget {MIN_SPEEDUP:.1f}x) at scale={report['scale']}, "
+        f"{report['fast_events_per_sec']}/s vs {report['seed_events_per_sec']}/s"
+    )
+    trace = get_trace(GATE_APP)
+    design = standard_designs()["pdede-default"]
+
+    def simulate():
+        btb, kwargs = design.build()
+        return FrontendSimulator(btb, **kwargs).run(trace, warmup_fraction=0.3)
+
+    run_once(benchmark, simulate)
+
+
+def main(argv: list[str]) -> int:
+    record = "--record" in argv
+    report = run_gate(record=record)
+    print(json.dumps({k: v for k, v in report.items() if k != "mismatches"}, indent=2))
+    print(
+        f"hot-path gate PASSED: {report['speedup']:.2f}x >= {MIN_SPEEDUP:.1f}x, "
+        "stats bit-identical across engines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -240,6 +240,36 @@ class TageLitePredictor(DirectionPredictor):
         self._history = ((self._history << 1) | int(taken)) & ((1 << 192) - 1)
         self._history_version += 1
 
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update`` sharing one provider search.
+
+        ``predict(pc)`` followed by ``update(pc, taken)`` walks the tagged
+        components twice for the same (pc, history) pair; the hot loop
+        always makes both calls back to back, so fuse them.  State
+        transitions and the returned prediction are identical to the
+        two-call sequence.
+        """
+        provider = self._provider(pc)
+        if provider is not None:
+            level, index = provider
+            component = self._components[level]
+            counter = component.counters[index]
+            predicted = counter >= 0
+            if taken:
+                component.counters[index] = min(3, counter + 1)
+            else:
+                component.counters[index] = max(-4, counter - 1)
+            if predicted == taken and component.useful[index] < 3:
+                component.useful[index] += 1
+        else:
+            predicted = self._base.predict(pc)
+            self._base.update(pc, taken)
+        if predicted != taken:
+            self._allocate(pc, taken, provider)
+        self._history = ((self._history << 1) | int(taken)) & ((1 << 192) - 1)
+        self._history_version += 1
+        return predicted
+
     def _allocate(self, pc: int, taken: bool, provider: tuple[int, int] | None) -> None:
         """On a mispredict, claim an entry in a longer-history table."""
         start = 0 if provider is None else provider[0] + 1
@@ -258,6 +288,36 @@ class TageLitePredictor(DirectionPredictor):
         for component in self._components:
             bits += component.entries * (component.tag_bits + 3 + 2)
         return bits
+
+    def clone(self) -> "TageLitePredictor":
+        """Independent copy of the full predictor state.
+
+        Used by the decoded-trace engine: the direction replay is shared
+        across designs, so each simulator adopts a clone of the end
+        state rather than the cached replay object itself.  Plain
+        ``list`` copies keep this far cheaper than ``copy.deepcopy``.
+        """
+        clone = TageLitePredictor.__new__(TageLitePredictor)
+        base = BimodalPredictor.__new__(BimodalPredictor)
+        base._entries = self._base._entries
+        base._mask = self._base._mask
+        base._table = list(self._base._table)
+        clone._base = base
+        clone._components = []
+        for component in self._components:
+            copied = _TageComponent(
+                component.entries, component.tag_bits, component.history_length
+            )
+            copied.tags = list(component.tags)
+            copied.counters = list(component.counters)
+            copied.useful = list(component.useful)
+            copied.cached_mix = component.cached_mix
+            copied.cached_version = component.cached_version
+            clone._components.append(copied)
+        clone._history = self._history
+        clone._history_version = self._history_version
+        clone._rng_state = self._rng_state
+        return clone
 
 
 _PREDICTORS = {

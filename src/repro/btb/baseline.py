@@ -8,6 +8,11 @@ bits and a 2-bit confidence counter -- 75 bits per entry, 37.5 KiB total.
 Confidence counters arbitrate target replacement for branches (mostly
 indirect ones) whose target changes: a mispredicted target first drains
 confidence before the stored target is overwritten.
+
+Storage is flat (``set * ways + way`` indexing) with a ``-1`` tag
+sentinel in invalid slots so the tag match is one ``list.index`` call;
+see :mod:`repro.core.pdede` for the layout rationale.  The baseline
+never invalidates entries, so only allocation writes tags.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from repro.branch.types import BranchEvent
 from repro.btb.base import BTBLookup, BranchTargetPredictor
 from repro.btb.replacement import make_replacement_policy
 from repro.checks.sanitizer import sanitizer_step
+
+_NO_TAG = -1
 
 
 class BaselineBTB(BranchTargetPredictor):
@@ -35,6 +42,8 @@ class BaselineBTB(BranchTargetPredictor):
         store_kinds: when False, ``update`` ignores indirect branches
             (Section 5.6 runs with indirects served by ITTAGE instead).
     """
+
+    supports_fast_path = True
 
     def __init__(
         self,
@@ -67,16 +76,18 @@ class BaselineBTB(BranchTargetPredictor):
         self.allocate_indirect = allocate_indirect
         self._sets_pow2 = self.sets & (self.sets - 1) == 0
         self._index_mask = self.sets - 1
+        self._tag_mask = (1 << tag_bits) - 1
         self.replacement_name = replacement
         repl_kwargs = {"m": srrip_bits} if replacement == "srrip" else {}
         self._policies = [
             make_replacement_policy(replacement, ways, **repl_kwargs)
             for _ in range(self.sets)
         ]
-        self._valid = [[False] * ways for _ in range(self.sets)]
-        self._tags = [[0] * ways for _ in range(self.sets)]
-        self._targets = [[0] * ways for _ in range(self.sets)]
-        self._conf = [[0] * ways for _ in range(self.sets)]
+        size = self.sets * ways
+        self._valid = [False] * size
+        self._tags = [_NO_TAG] * size
+        self._targets = [0] * size
+        self._conf = [0] * size
 
     # -- address mapping ---------------------------------------------------
 
@@ -89,21 +100,20 @@ class BaselineBTB(BranchTargetPredictor):
         return hashed % self.sets
 
     def _tag(self, pc: int) -> int:
-        return (hash_pc(pc) >> 40) & ((1 << self.tag_bits) - 1)
+        return (hash_pc(pc) >> 40) & self._tag_mask
 
     def _slot(self, pc: int) -> tuple[int, int]:
         """(set index, tag) from a single hash (hot path)."""
         hashed = hash_pc(pc)
         index = hashed & self._index_mask if self._sets_pow2 else hashed % self.sets
-        return index, (hashed >> 40) & ((1 << self.tag_bits) - 1)
+        return index, (hashed >> 40) & self._tag_mask
 
     def _find_way(self, index: int, tag: int) -> int | None:
-        valid = self._valid[index]
-        tags = self._tags[index]
-        for way in range(self.ways):
-            if valid[way] and tags[way] == tag:
-                return way
-        return None
+        base = index * self.ways
+        try:
+            return self._tags.index(tag, base, base + self.ways) - base
+        except ValueError:
+            return None
 
     # -- BranchTargetPredictor API ------------------------------------------
 
@@ -115,7 +125,7 @@ class BaselineBTB(BranchTargetPredictor):
         self._policies[index].on_hit(way)
         return BTBLookup(
             hit=True,
-            target=self._targets[index][way],
+            target=self._targets[index * self.ways + way],
             latency=self.latency,
             provider="btb",
         )
@@ -134,27 +144,97 @@ class BaselineBTB(BranchTargetPredictor):
             return
         self._allocate(index, tag, event.target)
 
+    # -- fast hooks (decoded-trace engine) -----------------------------------
+
+    def lookup_fast(self, pc: int, hashed: int) -> tuple[int | None, bool, int]:
+        """`lookup` on a precomputed hash; ``(target, hit, latency)``."""
+        index = hashed & self._index_mask if self._sets_pow2 else hashed % self.sets
+        base = index * self.ways
+        try:
+            slot = self._tags.index((hashed >> 40) & self._tag_mask, base, base + self.ways)
+        except ValueError:
+            return (None, False, self.latency)
+        self._policies[index].on_hit(slot - base)
+        return (self._targets[slot], True, self.latency)
+
+    def update_fast(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        is_indirect: bool,
+        hashed: int,
+        is_same_page: bool,
+    ) -> None:
+        """`update` on a precomputed hash (no event object, no sanitizer)."""
+        self.stats.updates += 1
+        if not taken:
+            return
+        if is_indirect and not self.allocate_indirect:
+            return
+        index = hashed & self._index_mask if self._sets_pow2 else hashed % self.sets
+        tag = (hashed >> 40) & self._tag_mask
+        way = self._find_way(index, tag)
+        if way is not None:
+            self._train_existing(index, way, target)
+            return
+        self._allocate(index, tag, target)
+
+    def observe_fast(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        is_indirect: bool,
+        hashed: int,
+        is_same_page: bool,
+    ) -> tuple[int | None, bool, int]:
+        """Combined lookup+update sharing one tag match.
+
+        Lookup mutates only replacement state, which cannot change the
+        tag match, so the update half reuses the found way.
+        """
+        index = hashed & self._index_mask if self._sets_pow2 else hashed % self.sets
+        tag = (hashed >> 40) & self._tag_mask
+        base = index * self.ways
+        try:
+            slot = self._tags.index(tag, base, base + self.ways)
+        except ValueError:
+            self.stats.updates += 1
+            if taken and not (is_indirect and not self.allocate_indirect):
+                self._allocate(index, tag, target)
+            return (None, False, self.latency)
+        way = slot - base
+        ltarget = self._targets[slot]
+        self._policies[index].on_hit(way)
+        self.stats.updates += 1
+        if taken and not (is_indirect and not self.allocate_indirect):
+            self._train_existing(index, way, target)
+        return (ltarget, True, self.latency)
+
     def _train_existing(self, index: int, way: int, target: int) -> None:
-        conf = self._conf[index]
-        if self._targets[index][way] == target:
-            if conf[way] < self._conf_max:
-                conf[way] += 1
-        elif conf[way] > 0:
+        slot = index * self.ways + way
+        if self._targets[slot] == target:
+            if self._conf[slot] < self._conf_max:
+                self._conf[slot] += 1
+        elif self._conf[slot] > 0:
             # Keep the incumbent target until confidence drains.
-            conf[way] -= 1
+            self._conf[slot] -= 1
         else:
-            self._targets[index][way] = target
+            self._targets[slot] = target
         self._policies[index].on_hit(way)
 
     def _allocate(self, index: int, tag: int, target: int) -> None:
         policy = self._policies[index]
-        way = policy.victim(self._valid[index])
-        if self._valid[index][way]:
+        base = index * self.ways
+        way = policy.victim(self._valid[base:base + self.ways])
+        slot = base + way
+        if self._valid[slot]:
             self.stats.evictions += 1
-        self._valid[index][way] = True
-        self._tags[index][way] = tag
-        self._targets[index][way] = target
-        self._conf[index][way] = 0
+        self._valid[slot] = True
+        self._tags[slot] = tag
+        self._targets[slot] = target
+        self._conf[slot] = 0
         policy.on_insert(way)
         self.stats.allocations += 1
 
@@ -172,7 +252,7 @@ class BaselineBTB(BranchTargetPredictor):
 
     def occupancy(self) -> int:
         """Number of valid entries currently stored."""
-        return sum(sum(valid) for valid in self._valid)
+        return sum(self._valid)
 
     def metrics(self) -> dict:
         data = super().metrics()

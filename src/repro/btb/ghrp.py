@@ -36,6 +36,9 @@ class GhrpBTB(BaselineBTB):
         history_bits: global branch-history bits mixed into signatures.
     """
 
+    # The inherited fast hooks would skip signature/history training.
+    supports_fast_path = False
+
     def __init__(
         self,
         *args,
@@ -88,11 +91,11 @@ class GhrpBTB(BaselineBTB):
 
     def _allocate(self, index: int, tag: int, target: int) -> None:
         policy = self._policies[index]
-        valid = self._valid[index]
+        base = index * self.ways
         way = None
         # Prefer invalid ways, then a predicted-dead entry.
         for candidate in range(self.ways):
-            if not valid[candidate]:
+            if not self._valid[base + candidate]:
                 way = candidate
                 break
         if way is None:
@@ -106,18 +109,19 @@ class GhrpBTB(BaselineBTB):
                     self.dead_predictions_used += 1
                     break
         if way is None:
-            way = policy.victim(valid)
-        if valid[way]:
+            way = policy.victim(self._valid[base:base + self.ways])
+        slot = base + way
+        if self._valid[slot]:
             self.stats.evictions += 1
             # Train: entries evicted unreferenced were dead on arrival.
             signature = self._signatures[index][way]
             if not self._referenced[index][way]:
                 if self._dead_counters[signature] < 3:
                     self._dead_counters[signature] += 1
-        valid[way] = True
-        self._tags[index][way] = tag
-        self._targets[index][way] = target
-        self._conf[index][way] = 0
+        self._valid[slot] = True
+        self._tags[slot] = tag
+        self._targets[slot] = target
+        self._conf[slot] = 0
         self._signatures[index][way] = self._signature(
             tag  # the folded-tag stands in for the PC inside the set
         )

@@ -73,6 +73,55 @@ class TwoLevelBTB(BranchTargetPredictor):
         self.level0.update(event)
         self.level1.update(event)
 
+    # -- fast hooks (decoded-trace engine) -----------------------------------
+
+    @property
+    def supports_fast_path(self) -> bool:
+        """Fast only when both levels implement the fast hooks."""
+        return getattr(self.level0, "supports_fast_path", False) and getattr(
+            self.level1, "supports_fast_path", False
+        )
+
+    def observe_fast(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        is_indirect: bool,
+        hashed: int,
+        is_same_page: bool,
+    ) -> tuple[int | None, bool, int]:
+        """Combined lookup+update over the levels' split fast hooks.
+
+        The hierarchy cannot share one tag match across lookup and
+        update (the L1 is only *looked up* on an L0 miss but always
+        *updated*), so it composes the levels' ``lookup_fast`` /
+        ``update_fast`` in the seed call order.
+        """
+        l0_target, l0_hit, l0_latency = self.level0.lookup_fast(pc, hashed)
+        if l0_hit:
+            self.l0_hits += 1
+            ltarget, lhit, latency = l0_target, True, l0_latency
+        else:
+            l1_target, l1_hit, l1_latency = self.level1.lookup_fast(pc, hashed)
+            if l1_hit or l1_target is not None:
+                self.l1_hits += 1
+                ltarget, lhit, latency = (
+                    l1_target,
+                    l1_hit,
+                    l1_latency + self.l1_extra_latency,
+                )
+            else:
+                ltarget, lhit, latency = (
+                    None,
+                    False,
+                    l1_latency + self.l1_extra_latency,
+                )
+        self.stats.updates += 1
+        self.level0.update_fast(pc, target, taken, is_indirect, hashed, is_same_page)
+        self.level1.update_fast(pc, target, taken, is_indirect, hashed, is_same_page)
+        return (ltarget, lhit, latency)
+
     def storage_bits(self) -> int:
         return self.level0.storage_bits() + self.level1.storage_bits()
 

@@ -60,6 +60,7 @@ __all__ = [
 DEFAULT_CHECK_INTERVAL = 8192
 
 _NO_PTR = -1  # mirrors repro.core.pdede (duck-typed, no import cycle)
+_NO_TAG = -1  # flat-storage sentinel: invalid BTB slots must hold this tag
 
 
 class InvariantViolation(AssertionError):
@@ -198,33 +199,36 @@ def check_dedup_table(table) -> None:
 
 
 def _slot_snapshot(btb, set_index: int, way: int) -> dict:
+    slot = set_index * btb._ways + way
     return {
-        "valid": btb._valid[set_index][way],
-        "tag": btb._tags[set_index][way],
-        "delta": btb._delta[set_index][way],
-        "offset": btb._offsets[set_index][way],
-        "page_ptr": btb._page_ptr[set_index][way],
-        "region_ptr": btb._region_ptr[set_index][way],
-        "page_gen": btb._page_gen[set_index][way],
-        "region_gen": btb._region_gen[set_index][way],
-        "conf": btb._conf[set_index][way],
+        "valid": btb._valid[slot],
+        "tag": btb._tags[slot],
+        "delta": btb._delta[slot],
+        "offset": btb._offsets[slot],
+        "page_ptr": btb._page_ptr[slot],
+        "region_ptr": btb._region_ptr[slot],
+        "page_gen": btb._page_gen[slot],
+        "region_gen": btb._region_gen[slot],
+        "conf": btb._conf[slot],
     }
 
 
 def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
     name = "btbm"
+    slot = set_index * btb._ways + way
     snapshot = _slot_snapshot(btb, set_index, way)
-    tag = btb._tags[set_index][way]
-    if tag >> cfg.tag_bits:
+    tag = btb._tags[slot]
+    if tag < 0 or tag >> cfg.tag_bits:
+        # A negative tag on a *valid* slot means the _NO_TAG sentinel leaked.
         _violate(
             "field-width",
             name,
-            f"tag {tag:#x} exceeds {cfg.tag_bits} bits",
+            f"tag {tag:#x} outside [0, 2**{cfg.tag_bits})",
             set_index=set_index,
             way=way,
             **snapshot,
         )
-    conf = btb._conf[set_index][way]
+    conf = btb._conf[slot]
     if not 0 <= conf < (1 << cfg.conf_bits):
         _violate(
             "field-width",
@@ -234,7 +238,7 @@ def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
             way=way,
             **snapshot,
         )
-    offset = btb._offsets[set_index][way]
+    offset = btb._offsets[slot]
     if offset >> 12:
         _violate(
             "field-width",
@@ -244,10 +248,8 @@ def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
             way=way,
             **snapshot,
         )
-    if btb._delta[set_index][way]:
-        if btb._page_ptr[set_index][way] != _NO_PTR or (
-            btb._region_ptr[set_index][way] != _NO_PTR
-        ):
+    if btb._delta[slot]:
+        if btb._page_ptr[slot] != _NO_PTR or btb._region_ptr[slot] != _NO_PTR:
             _violate(
                 "delta-legality",
                 name,
@@ -256,7 +258,7 @@ def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
                 way=way,
                 **snapshot,
             )
-        if btb._next_valid[set_index][way] and btb._next_offset[set_index][way] >> 12:
+        if btb._next_valid[slot] and btb._next_offset[slot] >> 12:
             _violate(
                 "delta-legality",
                 name,
@@ -267,7 +269,7 @@ def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
             )
         return
     # Pointer-carrying entry.
-    if way in btb._short_ways:
+    if way >= btb._short_base:
         _violate(
             "delta-legality",
             name,
@@ -277,13 +279,8 @@ def _check_pdede_slot(btb, cfg, set_index: int, way: int) -> None:
             **snapshot,
         )
     for label, table, pointer, generation in (
-        ("page", btb.page_btb, btb._page_ptr[set_index][way], btb._page_gen[set_index][way]),
-        (
-            "region",
-            btb.region_btb,
-            btb._region_ptr[set_index][way],
-            btb._region_gen[set_index][way],
-        ),
+        ("page", btb.page_btb, btb._page_ptr[slot], btb._page_gen[slot]),
+        ("region", btb.region_btb, btb._region_ptr[slot], btb._region_gen[slot]),
     ):
         if not 0 <= pointer < table.entries:
             _violate(
@@ -334,10 +331,10 @@ def _check_pdede_links(btb) -> None:
         ("region", btb._region_ptr_users, btb._region_ptr),
     ):
         forward: dict[int, set[tuple[int, int]]] = {}
-        for set_index in range(btb._sets):
-            for way in range(btb._ways):
-                if btb._valid[set_index][way] and not btb._delta[set_index][way]:
-                    forward.setdefault(ptrs[set_index][way], set()).add((set_index, way))
+        ways = btb._ways
+        for slot in range(btb._sets * ways):
+            if btb._valid[slot] and not btb._delta[slot]:
+                forward.setdefault(ptrs[slot], set()).add(divmod(slot, ways))
         for pointer, slots in users.items():
             extra = slots - forward.get(pointer, set())
             if extra:
@@ -377,9 +374,21 @@ def check_pdede(btb) -> None:
         else:
             _check_policy(btb._long_policies[set_index], "btbm(long)", set_index)
             _check_policy(btb._short_policies[set_index], "btbm(short)", set_index)
+        base = set_index * btb._ways
         for way in range(btb._ways):
-            if btb._valid[set_index][way]:
+            if btb._valid[base + way]:
                 _check_pdede_slot(btb, cfg, set_index, way)
+            elif btb._tags[base + way] != _NO_TAG:
+                _violate(
+                    "field-width",
+                    "btbm",
+                    f"invalid slot holds stale tag {btb._tags[base + way]:#x} "
+                    f"instead of the {_NO_TAG} sentinel (flat tag match "
+                    "would false-hit)",
+                    set_index=set_index,
+                    way=way,
+                    tag=btb._tags[base + way],
+                )
     if cfg.invalidate_stale_pointers:
         _check_pdede_links(btb)
     check_dedup_table(btb.page_btb)
@@ -422,17 +431,29 @@ def check_baseline(btb) -> None:
     tag_limit = 1 << btb.tag_bits
     for set_index in range(btb.sets):
         _check_policy(btb._policies[set_index], name, set_index)
+        base = set_index * btb.ways
         for way in range(btb.ways):
-            if not btb._valid[set_index][way]:
+            slot = base + way
+            if not btb._valid[slot]:
+                if btb._tags[slot] != _NO_TAG:
+                    _violate(
+                        "field-width",
+                        name,
+                        f"invalid slot holds stale tag {btb._tags[slot]:#x} "
+                        f"instead of the {_NO_TAG} sentinel",
+                        set_index=set_index,
+                        way=way,
+                        tag=btb._tags[slot],
+                    )
                 continue
-            tag = btb._tags[set_index][way]
-            target = btb._targets[set_index][way]
-            conf = btb._conf[set_index][way]
-            if tag >= tag_limit:
+            tag = btb._tags[slot]
+            target = btb._targets[slot]
+            conf = btb._conf[slot]
+            if not 0 <= tag < tag_limit:
                 _violate(
                     "field-width",
                     name,
-                    f"tag {tag:#x} exceeds {btb.tag_bits} bits",
+                    f"tag {tag:#x} outside [0, 2**{btb.tag_bits})",
                     set_index=set_index,
                     way=way,
                     tag=tag,

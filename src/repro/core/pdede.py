@@ -23,6 +23,17 @@ The two storage-recycling designs of Section 4.3.1 are selected by
   Next Target Offset register at lookup time.
 * ``MULTI_ENTRY`` reserves half the ways of every set for short
   (pointer-less, same-page-only) entries and doubles the entry count.
+
+Storage layout: every per-entry field is one flat list indexed by
+``set_index * ways + way``.  Tag match is a single ``list.index`` over
+the set's slice -- invalid slots hold the ``_NO_TAG`` sentinel (-1),
+which no real tag (non-negative) can equal, so the first index hit is
+exactly the seed implementation's first valid-and-matching way.  The
+invariant that makes this sound: **every** path that clears ``_valid``
+must store ``_NO_TAG`` into ``_tags`` (the sanitizer's tag-sentinel
+invariant guards it).  Short ways sit above ``_short_base``
+(``ways // 2`` in multi-entry mode, else ``ways``), so way-class tests
+are an integer compare instead of a list membership scan.
 """
 
 from __future__ import annotations
@@ -47,6 +58,8 @@ from repro.core.config import PDedeConfig, PDedeMode
 from repro.core.tables import DedupValueTable
 
 _NO_PTR = -1
+#: Tag sentinel stored in invalid slots; real tags are non-negative.
+_NO_TAG = -1
 
 
 class PDedeBTB(BranchTargetPredictor):
@@ -57,6 +70,11 @@ class PDedeBTB(BranchTargetPredictor):
             :class:`~repro.core.config.PDedeConfig`.
     """
 
+    #: The flat-storage fast hooks (``observe_fast`` and friends) are
+    #: exact replications of lookup/update; the simulator's fast engine
+    #: keys off this.
+    supports_fast_path = True
+
     def __init__(self, config: PDedeConfig | None = None) -> None:
         super().__init__()
         self.config = config or PDedeConfig()
@@ -65,6 +83,7 @@ class PDedeBTB(BranchTargetPredictor):
         self._ways = cfg.btbm_ways
         self._sets_pow2 = self._sets & (self._sets - 1) == 0
         self._index_mask = self._sets - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
         self._conf_max = (1 << cfg.conf_bits) - 1
         on_evict_page = self._invalidate_page_ptr if cfg.invalidate_stale_pointers else None
         on_evict_region = (
@@ -89,23 +108,25 @@ class PDedeBTB(BranchTargetPredictor):
             on_evict=on_evict_region,
         )
         sets, ways = self._sets, self._ways
-        self._valid = [[False] * ways for _ in range(sets)]
-        self._tags = [[0] * ways for _ in range(sets)]
-        self._delta = [[False] * ways for _ in range(sets)]
-        self._offsets = [[0] * ways for _ in range(sets)]
-        self._page_ptr = [[_NO_PTR] * ways for _ in range(sets)]
-        self._region_ptr = [[_NO_PTR] * ways for _ in range(sets)]
-        self._page_gen = [[0] * ways for _ in range(sets)]
-        self._region_gen = [[0] * ways for _ in range(sets)]
-        self._conf = [[0] * ways for _ in range(sets)]
+        size = sets * ways
+        self._valid = [False] * size
+        self._tags = [_NO_TAG] * size
+        self._delta = [False] * size
+        self._offsets = [0] * size
+        self._page_ptr = [_NO_PTR] * size
+        self._region_ptr = [_NO_PTR] * size
+        self._page_gen = [0] * size
+        self._region_gen = [0] * size
+        self._conf = [0] * size
         # Multi-target per-entry state (physically the re-used ptr fields).
-        self._next_valid = [[False] * ways for _ in range(sets)]
-        self._next_offset = [[0] * ways for _ in range(sets)]
+        self._next_valid = [False] * size
+        self._next_offset = [0] * size
         # Future-work extension: small tag of the next PC (Section 4.3.1).
-        self._next_tag = [[0] * ways for _ in range(sets)]
+        self._next_tag = [0] * size
         repl_kwargs = {"m": cfg.srrip_bits} if cfg.replacement == "srrip" else {}
         if cfg.mode is PDedeMode.MULTI_ENTRY:
             half = ways // 2
+            self._short_base = half
             self._long_ways = list(range(half))
             self._short_ways = list(range(half, ways))
             self._long_policies = [
@@ -118,6 +139,7 @@ class PDedeBTB(BranchTargetPredictor):
             ]
             self._policies = None
         else:
+            self._short_base = ways
             self._long_ways = list(range(ways))
             self._short_ways = []
             self._long_policies = self._short_policies = None
@@ -148,38 +170,38 @@ class PDedeBTB(BranchTargetPredictor):
         return hashed % self._sets
 
     def _tag(self, pc: int) -> int:
-        return (hash_pc(pc) >> 40) & ((1 << self.config.tag_bits) - 1)
+        return (hash_pc(pc) >> 40) & self._tag_mask
 
     def _slot(self, pc: int) -> tuple[int, int]:
         """(set index, tag) from a single hash (hot path)."""
         hashed = hash_pc(pc)
         index = hashed & self._index_mask if self._sets_pow2 else hashed % self._sets
-        return index, (hashed >> 40) & ((1 << self.config.tag_bits) - 1)
+        return index, (hashed >> 40) & self._tag_mask
 
     def _find_way(self, set_index: int, tag: int) -> int | None:
-        valid = self._valid[set_index]
-        tags = self._tags[set_index]
-        for way in range(self._ways):
-            if valid[way] and tags[way] == tag:
-                return way
-        return None
+        base = set_index * self._ways
+        try:
+            return self._tags.index(tag, base, base + self._ways) - base
+        except ValueError:
+            return None
 
     # -- replacement plumbing ---------------------------------------------------
 
     def _touch(self, set_index: int, way: int) -> None:
         if self._policies is not None:
             self._policies[set_index].on_hit(way)
-        elif way in self._short_ways:
-            self._short_policies[set_index].on_hit(way - self._short_ways[0])
+        elif way >= self._short_base:
+            self._short_policies[set_index].on_hit(way - self._short_base)
         else:
             self._long_policies[set_index].on_hit(way)
 
     def _choose_victim(self, set_index: int, needs_pointers: bool) -> int:
         """Pick the way to (re)fill, honouring multi-entry way reservation."""
-        valid = self._valid[set_index]
+        base = set_index * self._ways
+        valid = self._valid[base:base + self._ways]
         if self._policies is not None:
             return self._policies[set_index].victim(valid)
-        half = len(self._long_ways)
+        half = self._short_base
         long_valid = valid[:half]
         short_valid = valid[half:]
         if needs_pointers:
@@ -196,35 +218,42 @@ class PDedeBTB(BranchTargetPredictor):
     def _mark_inserted(self, set_index: int, way: int) -> None:
         if self._policies is not None:
             self._policies[set_index].on_insert(way)
-        elif way in self._short_ways:
-            self._short_policies[set_index].on_insert(way - self._short_ways[0])
+        elif way >= self._short_base:
+            self._short_policies[set_index].on_insert(way - self._short_base)
         else:
             self._long_policies[set_index].on_insert(way)
 
     # -- stale-pointer invalidation (optional mode) --------------------------------
 
     def _invalidate_page_ptr(self, pointer: int) -> None:
+        ways = self._ways
         for set_index, way in self._page_ptr_users.pop(pointer, ()):  # pragma: no branch
             # Unlink the entry's *other* pointer too: an invalidated entry
             # left in the region user map would let a later Region-BTB
             # eviction kill whatever unrelated branch re-allocates this
             # slot (the sanitizer's link-balance invariant catches this).
             self._unlink_pointers(set_index, way)
-            self._valid[set_index][way] = False
+            slot = set_index * ways + way
+            self._valid[slot] = False
+            self._tags[slot] = _NO_TAG
 
     def _invalidate_region_ptr(self, pointer: int) -> None:
+        ways = self._ways
         for set_index, way in self._region_ptr_users.pop(pointer, ()):
             self._unlink_pointers(set_index, way)
-            self._valid[set_index][way] = False
+            slot = set_index * ways + way
+            self._valid[slot] = False
+            self._tags[slot] = _NO_TAG
 
     def _unlink_pointers(self, set_index: int, way: int) -> None:
         if not self.config.invalidate_stale_pointers:
             return
         slot = (set_index, way)
-        page_ptr = self._page_ptr[set_index][way]
+        flat = set_index * self._ways + way
+        page_ptr = self._page_ptr[flat]
         if page_ptr != _NO_PTR:
             self._page_ptr_users.get(page_ptr, set()).discard(slot)
-        region_ptr = self._region_ptr[set_index][way]
+        region_ptr = self._region_ptr[flat]
         if region_ptr != _NO_PTR:
             self._region_ptr_users.get(region_ptr, set()).discard(slot)
 
@@ -232,10 +261,11 @@ class PDedeBTB(BranchTargetPredictor):
         if not self.config.invalidate_stale_pointers:
             return
         slot = (set_index, way)
-        page_ptr = self._page_ptr[set_index][way]
+        flat = set_index * self._ways + way
+        page_ptr = self._page_ptr[flat]
         if page_ptr != _NO_PTR:
             self._page_ptr_users.setdefault(page_ptr, set()).add(slot)
-        region_ptr = self._region_ptr[set_index][way]
+        region_ptr = self._region_ptr[flat]
         if region_ptr != _NO_PTR:
             self._region_ptr_users.setdefault(region_ptr, set()).add(slot)
 
@@ -248,13 +278,14 @@ class PDedeBTB(BranchTargetPredictor):
         extra cycle (Figure 9D) and count stale reads when the pointed-to
         slot was re-allocated under them.
         """
-        if self._delta[set_index][way]:
+        slot = set_index * self._ways + way
+        if self._delta[slot]:
             self.delta_hits += 1
-            return page_base(pc) | self._offsets[set_index][way], 1
-        page_ptr = self._page_ptr[set_index][way]
-        region_ptr = self._region_ptr[set_index][way]
-        if self.page_btb.is_stale(page_ptr, self._page_gen[set_index][way]) or (
-            self.region_btb.is_stale(region_ptr, self._region_gen[set_index][way])
+            return page_base(pc) | self._offsets[slot], 1
+        page_ptr = self._page_ptr[slot]
+        region_ptr = self._region_ptr[slot]
+        if self.page_btb.is_stale(page_ptr, self._page_gen[slot]) or (
+            self.region_btb.is_stale(region_ptr, self._region_gen[slot])
         ):
             self.stale_pointer_reads += 1
         page_value = self.page_btb.read(page_ptr)
@@ -262,7 +293,7 @@ class PDedeBTB(BranchTargetPredictor):
         self.page_btb.touch(page_ptr)
         self.region_btb.touch(region_ptr)
         self.pointer_hits += 1
-        target = join_target(region_value, page_value, self._offsets[set_index][way])
+        target = join_target(region_value, page_value, self._offsets[slot])
         return target, 2
 
     # -- lookup (Section 4.4.1) ------------------------------------------------------
@@ -292,15 +323,16 @@ class PDedeBTB(BranchTargetPredictor):
         target, latency = self._reconstruct(set_index, way, pc)
         if self.config.always_two_cycle:
             latency = 2
+        slot = set_index * self._ways + way
         if (
             self.config.mode is PDedeMode.MULTI_TARGET
-            and self._delta[set_index][way]
-            and self._next_valid[set_index][way]
+            and self._delta[slot]
+            and self._next_valid[slot]
         ):
-            self._pending_next_offset = self._next_offset[set_index][way]
-            self._pending_next_tag = self._next_tag[set_index][way]
+            self._pending_next_offset = self._next_offset[slot]
+            self._pending_next_tag = self._next_tag[slot]
         self._touch(set_index, way)
-        provider = "btbm-delta" if self._delta[set_index][way] else "btbm-ptr"
+        provider = "btbm-delta" if self._delta[slot] else "btbm-ptr"
         return BTBLookup(hit=True, target=target, latency=latency, provider=provider)
 
     # -- update / allocation (Section 4.4.2) ---------------------------------------
@@ -325,16 +357,169 @@ class PDedeBTB(BranchTargetPredictor):
         if self.config.mode is PDedeMode.MULTI_TARGET:
             self._chain_next_target(set_index, way, pc, target, use_delta)
 
+    # -- fast hooks (decoded-trace engine) -----------------------------------------
+
+    def lookup_fast(self, pc: int, hashed: int) -> tuple[int | None, bool, int]:
+        """`lookup` on a precomputed hash; returns ``(target, hit, latency)``.
+
+        Exact state evolution of :meth:`lookup` minus the BTBLookup
+        allocation; the simulator's fast engine (and
+        ``TwoLevelBTB.observe_fast``) is the only caller.
+        """
+        pending = self._pending_next_offset
+        pending_tag = self._pending_next_tag
+        self._pending_next_offset = None
+        cfg = self.config
+        set_index = hashed & self._index_mask if self._sets_pow2 else hashed % self._sets
+        tag = (hashed >> 40) & self._tag_mask
+        ways = self._ways
+        base = set_index * ways
+        try:
+            slot = self._tags.index(tag, base, base + ways)
+        except ValueError:
+            if pending is not None and (
+                not cfg.next_target_tag_bits
+                or pending_tag == fold_bits(pc >> 1, cfg.next_target_tag_bits)
+            ):
+                self.next_target_provisions += 1
+                return (
+                    page_base(pc) | pending,
+                    False,
+                    2 if cfg.always_two_cycle else 1,
+                )
+            return (None, False, 1)
+        way = slot - base
+        target, latency = self._reconstruct(set_index, way, pc)
+        if cfg.always_two_cycle:
+            latency = 2
+        if (
+            cfg.mode is PDedeMode.MULTI_TARGET
+            and self._delta[slot]
+            and self._next_valid[slot]
+        ):
+            self._pending_next_offset = self._next_offset[slot]
+            self._pending_next_tag = self._next_tag[slot]
+        self._touch(set_index, way)
+        return (target, True, latency)
+
+    def update_fast(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        is_indirect: bool,
+        hashed: int,
+        is_same_page: bool,
+    ) -> None:
+        """`update` on precomputed hash and page bits (no event object).
+
+        The sanitizer hook is omitted: the fast engine only runs with the
+        sanitizer disarmed (the simulator gates on it).
+        """
+        self.stats.updates += 1
+        if not taken:
+            return
+        cfg = self.config
+        if is_indirect and not cfg.allocate_indirect:
+            self._last_btbm_slot = None
+            return
+        use_delta = is_same_page and cfg.delta_encoding
+        set_index = hashed & self._index_mask if self._sets_pow2 else hashed % self._sets
+        tag = (hashed >> 40) & self._tag_mask
+        way = self._find_way(set_index, tag)
+        if way is not None:
+            self._train_existing(set_index, way, pc, target, use_delta)
+        else:
+            way = self._allocate(set_index, tag, target, use_delta)
+        if cfg.mode is PDedeMode.MULTI_TARGET:
+            self._chain_next_target(set_index, way, pc, target, use_delta)
+
+    def observe_fast(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        is_indirect: bool,
+        hashed: int,
+        is_same_page: bool,
+    ) -> tuple[int | None, bool, int]:
+        """Combined lookup+update sharing one tag match.
+
+        Returns the lookup's ``(target, hit, latency)``.  Nothing between
+        the seed's ``lookup`` and ``update`` calls can change the tag
+        match (lookup touches only replacement/pending/counter state), so
+        one ``list.index`` serves both halves; every other state
+        transition happens in the seed order.
+        """
+        cfg = self.config
+        pending = self._pending_next_offset
+        pending_tag = self._pending_next_tag
+        self._pending_next_offset = None
+        set_index = hashed & self._index_mask if self._sets_pow2 else hashed % self._sets
+        tag = (hashed >> 40) & self._tag_mask
+        ways = self._ways
+        base = set_index * ways
+        try:
+            slot = self._tags.index(tag, base, base + ways)
+        except ValueError:
+            # -- lookup outcome on a tag miss --
+            if pending is not None and (
+                not cfg.next_target_tag_bits
+                or pending_tag == fold_bits(pc >> 1, cfg.next_target_tag_bits)
+            ):
+                self.next_target_provisions += 1
+                ltarget: int | None = page_base(pc) | pending
+                latency = 2 if cfg.always_two_cycle else 1
+            else:
+                ltarget = None
+                latency = 1
+            # -- update half --
+            self.stats.updates += 1
+            if not taken:
+                return (ltarget, False, latency)
+            if is_indirect and not cfg.allocate_indirect:
+                self._last_btbm_slot = None
+                return (ltarget, False, latency)
+            use_delta = is_same_page and cfg.delta_encoding
+            way = self._allocate(set_index, tag, target, use_delta)
+            if cfg.mode is PDedeMode.MULTI_TARGET:
+                self._chain_next_target(set_index, way, pc, target, use_delta)
+            return (ltarget, False, latency)
+        way = slot - base
+        ltarget, latency = self._reconstruct(set_index, way, pc)
+        if cfg.always_two_cycle:
+            latency = 2
+        if (
+            cfg.mode is PDedeMode.MULTI_TARGET
+            and self._delta[slot]
+            and self._next_valid[slot]
+        ):
+            self._pending_next_offset = self._next_offset[slot]
+            self._pending_next_tag = self._next_tag[slot]
+        self._touch(set_index, way)
+        # -- update half --
+        self.stats.updates += 1
+        if not taken:
+            return (ltarget, True, latency)
+        if is_indirect and not cfg.allocate_indirect:
+            self._last_btbm_slot = None
+            return (ltarget, True, latency)
+        use_delta = is_same_page and cfg.delta_encoding
+        self._train_existing(set_index, way, pc, target, use_delta)
+        if cfg.mode is PDedeMode.MULTI_TARGET:
+            self._chain_next_target(set_index, way, pc, target, use_delta)
+        return (ltarget, True, latency)
+
     def _train_existing(
         self, set_index: int, way: int, pc: int, target: int, use_delta: bool
     ) -> None:
         predicted, _ = self._reconstruct(set_index, way, pc)
-        conf = self._conf[set_index]
+        slot = set_index * self._ways + way
         if predicted == target:
-            if conf[way] < self._conf_max:
-                conf[way] += 1
-        elif conf[way] > 0:
-            conf[way] -= 1
+            if self._conf[slot] < self._conf_max:
+                self._conf[slot] += 1
+        elif self._conf[slot] > 0:
+            self._conf[slot] -= 1
         else:
             self._write_target_fields(set_index, way, target, use_delta)
         self._touch(set_index, way)
@@ -343,27 +528,29 @@ class PDedeBTB(BranchTargetPredictor):
         self, set_index: int, way: int, target: int, use_delta: bool
     ) -> None:
         """(Re)encode an entry's target, allocating table entries if needed."""
-        if not use_delta and way in self._short_ways:
+        slot = set_index * self._ways + way
+        if not use_delta and way >= self._short_base:
             # A short multi-entry way cannot hold pointers: the entry is
             # abandoned and the branch re-allocates into a long way on its
             # next update (hardware simply invalidates).
             self._unlink_pointers(set_index, way)
-            self._valid[set_index][way] = False
+            self._valid[slot] = False
+            self._tags[slot] = _NO_TAG
             return
         self._unlink_pointers(set_index, way)
-        self._offsets[set_index][way] = page_offset(target)
-        self._delta[set_index][way] = use_delta
-        self._next_valid[set_index][way] = False
+        self._offsets[slot] = page_offset(target)
+        self._delta[slot] = use_delta
+        self._next_valid[slot] = False
         if use_delta:
-            self._page_ptr[set_index][way] = _NO_PTR
-            self._region_ptr[set_index][way] = _NO_PTR
+            self._page_ptr[slot] = _NO_PTR
+            self._region_ptr[slot] = _NO_PTR
         else:
             region_ptr, region_gen = self.region_btb.allocate(region_id(target))
             page_ptr, page_gen = self.page_btb.allocate(page_in_region(target))
-            self._region_ptr[set_index][way] = region_ptr
-            self._region_gen[set_index][way] = region_gen
-            self._page_ptr[set_index][way] = page_ptr
-            self._page_gen[set_index][way] = page_gen
+            self._region_ptr[slot] = region_ptr
+            self._region_gen[slot] = region_gen
+            self._page_ptr[slot] = page_ptr
+            self._page_gen[slot] = page_gen
             self._link_pointers(set_index, way)
 
     def _allocate(self, set_index: int, tag: int, target: int, use_delta: bool) -> int:
@@ -371,15 +558,16 @@ class PDedeBTB(BranchTargetPredictor):
         # only after both succeed, so the BTBM never holds dangling-new
         # pointers (Section 4.4.2).
         way = self._choose_victim(set_index, needs_pointers=not use_delta)
-        if self._valid[set_index][way]:
+        slot = set_index * self._ways + way
+        if self._valid[slot]:
             self.stats.evictions += 1
             self._unlink_pointers(set_index, way)
-        self._valid[set_index][way] = True
-        self._tags[set_index][way] = tag
-        self._conf[set_index][way] = 0
-        self._next_valid[set_index][way] = False
-        self._page_ptr[set_index][way] = _NO_PTR
-        self._region_ptr[set_index][way] = _NO_PTR
+        self._valid[slot] = True
+        self._tags[slot] = tag
+        self._conf[slot] = 0
+        self._next_valid[slot] = False
+        self._page_ptr[slot] = _NO_PTR
+        self._region_ptr[slot] = _NO_PTR
         self._write_target_fields(set_index, way, target, use_delta)
         self._mark_inserted(set_index, way)
         self.stats.allocations += 1
@@ -389,16 +577,18 @@ class PDedeBTB(BranchTargetPredictor):
         self, set_index: int, way: int, pc: int, target: int, is_same_page: bool
     ) -> None:
         """Multi-target bookkeeping after an update (Section 4.4.2)."""
+        ways = self._ways
         if self._last_btbm_slot is not None and is_same_page:
             last_set, last_way = self._last_btbm_slot
-            if self._valid[last_set][last_way] and self._delta[last_set][last_way]:
-                self._next_valid[last_set][last_way] = True
-                self._next_offset[last_set][last_way] = page_offset(target)
+            last = last_set * ways + last_way
+            if self._valid[last] and self._delta[last]:
+                self._next_valid[last] = True
+                self._next_offset[last] = page_offset(target)
                 if self.config.next_target_tag_bits:
-                    self._next_tag[last_set][last_way] = fold_bits(
+                    self._next_tag[last] = fold_bits(
                         pc >> 1, self.config.next_target_tag_bits
                     )
-        if is_same_page and self._valid[set_index][way]:
+        if is_same_page and self._valid[set_index * ways + way]:
             self._last_btbm_slot = (set_index, way)
         else:
             self._last_btbm_slot = None
@@ -413,14 +603,13 @@ class PDedeBTB(BranchTargetPredictor):
         return f"PDede[{self.config.mode.value}]"
 
     def occupancy(self) -> int:
-        return sum(sum(valid) for valid in self._valid)
+        return sum(self._valid)
 
     def delta_entry_count(self) -> int:
         return sum(
             1
-            for set_index in range(self._sets)
-            for way in range(self._ways)
-            if self._valid[set_index][way] and self._delta[set_index][way]
+            for valid, delta in zip(self._valid, self._delta)
+            if valid and delta
         )
 
     def contains(self, pc: int) -> bool:

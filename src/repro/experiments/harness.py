@@ -24,6 +24,7 @@ from repro.frontend.stats import FrontendStats
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
+from repro.experiments import diskcache
 from repro.experiments.designs import Design
 
 #: (trace name, scale, design key, params, warmup) -> FrontendStats
@@ -96,6 +97,22 @@ def run_design(
             ).inc(outcome="hit")
             return cached
     _CACHE_MISSES += 1
+    # Below the memo: the cross-process disk cache.  A disk hit is still
+    # a memo miss for cache_info(), but costs no simulation -- the
+    # registry counter's "miss" outcome therefore counts *fresh runs*.
+    disk_key = None
+    if use_cache and diskcache.disk_cache_enabled():
+        disk_key = diskcache.result_key(
+            trace_name, scale, design.key, params, warmup_fraction,
+            spec=_find_spec(trace_name, scale),
+        )
+        stats = diskcache.load_result(disk_key)
+        if stats is not None:
+            _RESULT_CACHE[key] = stats
+            registry.counter(
+                "harness_result_cache_total", "memo-cache lookups by outcome"
+            ).inc(outcome="disk-hit")
+            return stats
     registry.counter(
         "harness_result_cache_total", "memo-cache lookups by outcome"
     ).inc(outcome="miss")
@@ -115,7 +132,17 @@ def run_design(
     ).observe(elapsed, design=design.key, scale=scale)
     if use_cache:
         _RESULT_CACHE[key] = stats
+        if disk_key is not None:
+            diskcache.store_result(disk_key, stats)
     return stats
+
+
+def _find_spec(trace_name: str, scale: str):
+    """The suite spec behind ``trace_name`` (None for ad-hoc traces)."""
+    for spec in build_suite(scale):
+        if spec.name == trace_name:
+            return spec
+    return None
 
 
 @dataclass
@@ -284,7 +311,7 @@ def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> 
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

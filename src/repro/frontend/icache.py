@@ -55,6 +55,23 @@ class ICache:
                 misses += 1
         return misses
 
+    def clone(self) -> "ICache":
+        """Independent copy of the full cache state (fast list copies).
+
+        The decoded-trace engine replays the reference stream once per
+        geometry and hands each simulator a clone of the end state, so
+        post-run inspection matches a live run without re-simulating.
+        """
+        clone = ICache.__new__(ICache)
+        clone.sets = self.sets
+        clone.ways = self.ways
+        clone.line_bytes = self.line_bytes
+        clone._line_shift = self._line_shift
+        clone._lines = [list(lines) for lines in self._lines]
+        clone.accesses = self.accesses
+        clone.misses = self.misses
+        return clone
+
     @property
     def miss_rate(self) -> float:
         if self.accesses == 0:

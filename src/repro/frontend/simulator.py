@@ -29,7 +29,11 @@ not modelled (a second-order effect the paper notes qualitatively).
 
 from __future__ import annotations
 
-from repro.branch.direction import DirectionPredictor, TageLitePredictor
+from repro.branch.direction import (
+    DirectionPredictor,
+    PerfectDirectionPredictor,
+    TageLitePredictor,
+)
 from repro.obs.metrics import get_registry
 from repro.branch.types import BranchKind
 from repro.btb.base import BranchTargetPredictor
@@ -58,6 +62,7 @@ _KIND_COND = int(BranchKind.COND_DIRECT)
 _KINDS = [BranchKind(value) for value in range(len(BranchKind))]
 _IS_CALL = [kind.is_call for kind in _KINDS]
 _IS_INDIRECT = [kind.is_indirect for kind in _KINDS]
+_KIND_NAMES = [kind.name for kind in _KINDS]
 
 
 class FrontendSimulator:
@@ -93,6 +98,7 @@ class FrontendSimulator:
     ) -> None:
         self.btb = btb
         self.params = params
+        self._direction_is_default = direction is None
         self.direction = direction or TageLitePredictor()
         self.ittage = ittage
         self.returns_use_ras = returns_use_ras
@@ -101,6 +107,10 @@ class FrontendSimulator:
         self.model_wrong_path = model_wrong_path
         self.wrong_path_bytes = wrong_path_bytes
         self.wrong_path_fetches = 0
+        self._has_run = False
+        #: Which engine the most recent :meth:`run` used ("fast" when the
+        #: decoded-trace loop applied, "general" otherwise).
+        self.last_engine = "none"
 
     def run(self, trace: Trace, warmup_fraction: float = 0.25) -> FrontendStats:
         """Simulate ``trace``; collect statistics after the warmup prefix.
@@ -108,9 +118,63 @@ class FrontendSimulator:
         The paper warms microarchitectural state on 100M+ instructions
         before measuring 10M+ (Section 5.1); ``warmup_fraction`` plays
         the same role at trace scale.
+
+        Two engines produce the same ``FrontendStats`` bit for bit (the
+        equivalence suite is the referee): a *fast* engine driven by the
+        trace's precomputed :class:`~repro.workloads.decoded.DecodedTrace`
+        columns, used when the configuration allows it, and the
+        *general* per-event engine that handles every configuration
+        (ITTAGE, wrong-path modelling, custom predictors, armed
+        sanitizer, reused simulators).
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self._fast_path_applicable():
+            self.last_engine = "fast"
+            stats = self._run_fast(trace, warmup_fraction)
+        else:
+            self.last_engine = "general"
+            stats = self._run_general(trace, warmup_fraction)
+        self._has_run = True
+        registry = get_registry()
+        if registry.enabled:
+            self.publish_metrics(stats, registry, app=trace.name)
+        return stats
+
+    def _direction_signature(self) -> str | None:
+        """Key naming a replayable direction configuration (or None).
+
+        Only configurations whose predictor state this simulator built
+        itself (and therefore knows to be cold and default-shaped) can be
+        served from the decoded trace's direction replay.
+        """
+        if type(self.direction) is PerfectDirectionPredictor:
+            return "perfect"
+        if self._direction_is_default:
+            return "tage-default"
+        return None
+
+    def _fast_path_applicable(self) -> bool:
+        """Whether the decoded-trace engine reproduces this configuration.
+
+        The fast engine precomputes direction outcomes and ICache misses
+        from cold state, so it only applies to a simulator's first run
+        with cold structures; anything it cannot replicate exactly
+        (ITTAGE, wrong-path pollution, an armed sanitizer, a
+        caller-supplied predictor) falls back to the general engine.
+        """
+        return (
+            not self._has_run
+            and self.ittage is None
+            and not self.model_wrong_path
+            and self.icache.accesses == 0
+            and getattr(self.btb, "supports_fast_path", False)
+            and not get_sanitizer().enabled
+            and self._direction_signature() is not None
+        )
+
+    def _run_general(self, trace: Trace, warmup_fraction: float) -> FrontendStats:
+        """Reference per-event engine (every configuration)."""
         params = self.params
         stats = FrontendStats()
         warm_limit = int(len(trace) * warmup_fraction)
@@ -269,9 +333,258 @@ class FrontendSimulator:
                 stats.ras_mispredicts += 1
             if bubble:
                 stats.extra_latency_lookups += 1
-        registry = get_registry()
-        if registry.enabled:
-            self.publish_metrics(stats, registry, app=trace.name)
+        return stats
+
+    def _run_fast(self, trace: Trace, warmup_fraction: float) -> FrontendStats:
+        """Decoded-column engine; bit-identical to :meth:`_run_general`.
+
+        Per-event work that is trace-pure (hashing, page compare, block
+        geometry, ICache reference stream, direction outcome) comes from
+        the trace's cached :class:`DecodedTrace`; per-event BTB work goes
+        through one combined ``observe_fast`` call; accounting runs on
+        locals and is flushed once at the end.  Float accumulation order
+        matches the general engine exactly.
+        """
+        params = self.params
+        decoded = trace.decoded()
+        n_events = decoded.n_events
+        warm_limit = int(n_events * warmup_fraction)
+        supply_col, demand_col = decoded.supply_demand(
+            params.fetch_width, params.commit_width
+        )
+        icache_col, icache_final = decoded.icache_misses(
+            params.icache_kib, params.icache_line_bytes, params.icache_ways
+        )
+        signature = self._direction_signature()
+        if signature == "perfect":
+            direction_col: list[bool] = [True] * n_events
+            direction_final = None
+        else:
+            direction_col, direction_final = decoded.direction_outcomes(signature)
+
+        slack = 0.0
+        slack_max = params.max_slack_cycles
+        miss_cycles = params.icache_miss_cycles
+        refill_shadow = params.resteer_refill_cycles
+        decode_penalty = params.decode_resteer_cycles + refill_shadow
+        execute_penalty = params.execute_resteer_cycles + refill_shadow
+        measuring = warm_limit == 0
+        blocks_since_resteer = _REFILL_WINDOW
+
+        btb = self.btb
+        observe_fast = btb.observe_fast
+        ras = self.ras
+        ras_pop = ras.pop
+        ras_push = ras.push
+        returns_use_ras = self.returns_use_ras
+        is_call_by_kind = _IS_CALL
+        is_indirect_by_kind = _IS_INDIRECT
+        kind_return = _KIND_RETURN
+
+        # FrontendStats fields, accumulated in locals (same += sequence,
+        # and therefore the same float rounding, as the general engine).
+        instructions = 0
+        cycles = 0.0
+        base_cycles = 0.0
+        icache_stall_cycles = 0.0
+        btb_bubble_cycles = 0.0
+        btb_resteer_cycles = 0.0
+        bad_speculation_cycles = 0.0
+        branches = 0
+        taken_branches = 0
+        btb_miss_count = 0
+        decode_resteers = 0
+        execute_resteers = 0
+        direction_mispredicts = 0
+        indirect_mispredicts = 0
+        ras_mispredicts = 0
+        icache_miss_count = 0
+        extra_latency_lookups = 0
+        # BTBStats.record_outcome fields (everything else in BTBStats is
+        # maintained live inside observe_fast).
+        lookups = 0
+        taken_lookups = 0
+        lookup_hits = 0
+        lookup_misses = 0
+        wrong_target = 0
+        miss_kind_counts = [0] * len(_KINDS)
+
+        for index, (
+            pc,
+            kind_value,
+            taken,
+            target,
+            block_instructions,
+            supply_base,
+            demand,
+            icache_misses,
+            hashed,
+            is_same_page,
+            direction_correct,
+        ) in enumerate(
+            zip(
+                trace.pcs,
+                trace.kinds,
+                trace.takens,
+                trace.targets,
+                decoded.block_instructions,
+                supply_col,
+                demand_col,
+                icache_col,
+                decoded.hashes,
+                decoded.same_page,
+                direction_col,
+            )
+        ):
+            if not measuring and index >= warm_limit:
+                measuring = True
+                btb.reset_stats()
+                lookups = 0
+                taken_lookups = 0
+                lookup_hits = 0
+                lookup_misses = 0
+                wrong_target = 0
+                miss_kind_counts = [0] * len(_KINDS)
+            if icache_misses:
+                if blocks_since_resteer < _REFILL_WINDOW:
+                    icache_cost = icache_misses * miss_cycles
+                else:
+                    icache_cost = icache_misses * _OVERLAPPED_MISS_CYCLES
+            else:
+                icache_cost = 0.0
+
+            penalty = 0.0
+            bubble = 0.0
+            resteer_kind = 0
+            btb_miss = False
+            indirect_mispredict = False
+            ras_mispredict = False
+            direction_mispredict = False
+
+            if kind_value == kind_return and returns_use_ras:
+                if ras_pop() != target:
+                    ras_mispredict = True
+                    penalty = execute_penalty
+                    resteer_kind = 2
+            else:
+                if is_call_by_kind[kind_value]:
+                    ras_push(pc + _INSTR_BYTES)
+                kind_is_indirect = is_indirect_by_kind[kind_value]
+                ltarget, lhit, latency = observe_fast(
+                    pc, target, taken, kind_is_indirect, hashed, is_same_page
+                )
+                lookups += 1
+                if taken:
+                    taken_lookups += 1
+                    if ltarget == target:
+                        lookup_hits += 1
+                    else:
+                        lookup_misses += 1
+                        if lhit:
+                            wrong_target += 1
+                        miss_kind_counts[kind_value] += 1
+                        btb_miss = True
+                if not direction_correct:
+                    direction_mispredict = True
+                    penalty = execute_penalty
+                    resteer_kind = 2
+                elif taken and btb_miss:
+                    if kind_is_indirect or kind_value == kind_return:
+                        if kind_is_indirect:
+                            indirect_mispredict = True
+                        penalty = execute_penalty
+                        resteer_kind = 2
+                    else:
+                        penalty = decode_penalty
+                        resteer_kind = 1
+                elif taken and latency > 1:
+                    bubble = float(latency - 1)
+
+            supply = supply_base + icache_cost + bubble
+            effective = supply - slack
+            if effective > demand:
+                block_cycles = effective
+                slack = 0.0
+            else:
+                block_cycles = demand
+                slack = slack + demand - supply
+                if slack > slack_max:
+                    slack = slack_max
+            if penalty:
+                slack = 0.0
+                blocks_since_resteer = 0
+            else:
+                blocks_since_resteer += 1
+
+            if not measuring:
+                continue
+
+            instructions += block_instructions
+            cycles += block_cycles + penalty
+            base_cycles += demand
+            overrun = block_cycles - demand
+            if overrun > 0:
+                icache_part = icache_cost if icache_cost < overrun else overrun
+                icache_stall_cycles += icache_part
+                rest = overrun - icache_part
+                btb_bubble_cycles += bubble if bubble < rest else rest
+            icache_miss_count += icache_misses
+            branches += 1
+            if taken:
+                taken_branches += 1
+            if btb_miss:
+                btb_miss_count += 1
+            if resteer_kind == 1:
+                decode_resteers += 1
+                btb_resteer_cycles += penalty
+            elif resteer_kind == 2:
+                execute_resteers += 1
+                bad_speculation_cycles += penalty
+            if direction_mispredict:
+                direction_mispredicts += 1
+            if indirect_mispredict:
+                indirect_mispredicts += 1
+            if ras_mispredict:
+                ras_mispredicts += 1
+            if bubble:
+                extra_latency_lookups += 1
+
+        stats = FrontendStats(
+            instructions=instructions,
+            cycles=cycles,
+            base_cycles=base_cycles,
+            icache_stall_cycles=icache_stall_cycles,
+            btb_bubble_cycles=btb_bubble_cycles,
+            btb_resteer_cycles=btb_resteer_cycles,
+            bad_speculation_cycles=bad_speculation_cycles,
+            branches=branches,
+            taken_branches=taken_branches,
+            btb_misses=btb_miss_count,
+            decode_resteers=decode_resteers,
+            execute_resteers=execute_resteers,
+            direction_mispredicts=direction_mispredicts,
+            indirect_mispredicts=indirect_mispredicts,
+            ras_mispredicts=ras_mispredicts,
+            icache_misses=icache_miss_count,
+            extra_latency_lookups=extra_latency_lookups,
+        )
+        btb_stats = btb.stats
+        btb_stats.lookups += lookups
+        btb_stats.taken_lookups += taken_lookups
+        btb_stats.hits += lookup_hits
+        btb_stats.misses += lookup_misses
+        btb_stats.wrong_target += wrong_target
+        misses_by_kind = btb_stats.misses_by_kind
+        for kind_value, count in enumerate(miss_kind_counts):
+            if count:
+                name = _KIND_NAMES[kind_value]
+                misses_by_kind[name] = misses_by_kind.get(name, 0) + count
+        # Adopt the replayed end-of-trace structure states so post-run
+        # inspection (snapshots, a later general-engine run) matches a
+        # live run; the cached replay objects themselves stay pristine.
+        self.icache = icache_final.clone()
+        if direction_final is not None:
+            self.direction = direction_final.clone()
         return stats
 
     def publish_metrics(self, stats: FrontendStats, registry=None, app: str = "?") -> None:

@@ -1,0 +1,204 @@
+"""Precomputed per-event columns for the hot simulation loop.
+
+``FrontendSimulator.run`` used to recompute, for every event of every
+design in a sweep, quantities that depend only on the trace: block
+geometry, the branch-PC avalanche hash, the ``same_page(pc, target)``
+bit, the per-event ICache miss count, and (when the default predictor is
+used) the conditional-direction outcome.  A :class:`DecodedTrace`
+computes each of these once per trace and caches them on the trace
+object (:meth:`repro.workloads.trace.Trace.decoded`), so an N-design
+sweep pays the trace-pure work once instead of N times.
+
+Two kinds of columns:
+
+* **vectorised** -- pure element-wise functions of the event columns
+  (block instructions/starts, hashes, page bits, kind property bytes),
+  computed with numpy and materialised as plain lists (CPython iterates
+  lists faster than ndarrays, and the hot loop wants native ints);
+* **replayed** -- sequential state machines that are nevertheless
+  independent of the BTB under test: the ICache miss count per event
+  (the *cost* of a miss depends on resteer proximity, but whether a line
+  misses depends only on the reference stream) and the TAGE direction
+  outcome per conditional (direction state never observes the BTB).
+  Replays reuse the real model classes, so the columns are correct by
+  construction, and keep the final state object so a simulator can adopt
+  it after a fast run.
+
+Everything here is derived, deterministic data; the equivalence suite
+(``tests/test_engine_equivalence.py``) checks the decoded engine against
+the frozen seed engine bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.branch.direction import TageLitePredictor
+from repro.branch.types import BranchKind
+from repro.frontend.icache import ICache
+
+if TYPE_CHECKING:
+    from repro.workloads.trace import Trace
+
+_INSTR_BYTES = 4
+_KIND_COND = int(BranchKind.COND_DIRECT)
+
+_ALL_KINDS = [BranchKind(value) for value in range(len(BranchKind))]
+_IS_CALL_BY_KIND = np.array([kind.is_call for kind in _ALL_KINDS], dtype=np.bool_)
+_IS_INDIRECT_BY_KIND = np.array([kind.is_indirect for kind in _ALL_KINDS], dtype=np.bool_)
+
+#: mix64 constants (repro.branch.address) as uint64 scalars so the
+#: vectorised pipeline stays in wrap-around uint64 arithmetic.
+_MIX_SHIFT = np.uint64(33)
+_MIX_MUL1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX_MUL2 = np.uint64(0xC4CEB9FE1A85EC53)
+_PAGE_SHIFT = np.uint64(12)
+
+
+def _vector_hash_pc(pcs: np.ndarray) -> np.ndarray:
+    """``hash_pc`` (mix64 of pc >> 1) over a whole uint64 column."""
+    x = pcs >> np.uint64(1)
+    x = x ^ (x >> _MIX_SHIFT)
+    x = x * _MIX_MUL1
+    x = x ^ (x >> _MIX_SHIFT)
+    x = x * _MIX_MUL2
+    x = x ^ (x >> _MIX_SHIFT)
+    return x
+
+
+class DecodedTrace:
+    """One-time derived columns of a :class:`Trace` (see module docs).
+
+    Vectorised columns are built eagerly in :meth:`from_trace`; replayed
+    columns are built lazily per configuration key and memoised, since
+    different sweeps may use different core geometries or predictors.
+    """
+
+    __slots__ = (
+        "n_events",
+        "block_instructions",
+        "hashes",
+        "same_page",
+        "is_call",
+        "is_indirect",
+        "_pcs",
+        "_block_starts",
+        "_takens",
+        "_kinds",
+        "_supply_demand",
+        "_icache",
+        "_direction",
+    )
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.block_instructions: list[int] = []
+        self.hashes: list[int] = []
+        self.same_page: list[bool] = []
+        self.is_call: list[bool] = []
+        self.is_indirect: list[bool] = []
+        self._pcs: list[int] = []
+        self._block_starts: list[int] = []
+        self._takens: list[bool] = []
+        self._kinds: list[int] = []
+        self._supply_demand: dict[tuple[int, int], tuple[list[float], list[float]]] = {}
+        self._icache: dict[tuple[int, int, int], tuple[list[int], ICache]] = {}
+        self._direction: dict[str, tuple[list[bool], object]] = {}
+
+    @classmethod
+    def from_trace(cls, trace: "Trace") -> "DecodedTrace":
+        pcs, kinds, takens, targets, gaps = trace.columns()
+        decoded = cls()
+        decoded.n_events = len(trace)
+        with np.errstate(over="ignore"):
+            wide_gaps = gaps.astype(np.int64)
+            decoded.block_instructions = (wide_gaps + 1).tolist()
+            decoded._block_starts = (
+                pcs - gaps.astype(np.uint64) * np.uint64(_INSTR_BYTES)
+            ).tolist()
+            decoded.hashes = _vector_hash_pc(pcs).tolist()
+            decoded.same_page = (
+                (pcs >> _PAGE_SHIFT) == (targets >> _PAGE_SHIFT)
+            ).tolist()
+        decoded.is_call = _IS_CALL_BY_KIND[kinds].tolist()
+        decoded.is_indirect = _IS_INDIRECT_BY_KIND[kinds].tolist()
+        decoded._pcs = trace.pcs
+        decoded._takens = trace.takens
+        decoded._kinds = trace.kinds
+        return decoded
+
+    # -- replayed / per-configuration columns -------------------------------
+
+    def supply_demand(
+        self, fetch_width: int, commit_width: int
+    ) -> tuple[list[float], list[float]]:
+        """Per-event ``instructions / fetch_width`` and ``/ commit_width``.
+
+        Block instruction counts are exact in float64, so the vectorised
+        division is bit-identical to the per-event Python division.
+        """
+        key = (fetch_width, commit_width)
+        cached = self._supply_demand.get(key)
+        if cached is None:
+            instructions = np.array(self.block_instructions, dtype=np.float64)
+            cached = (
+                (instructions / fetch_width).tolist(),
+                (instructions / commit_width).tolist(),
+            )
+            self._supply_demand[key] = cached
+        return cached
+
+    def icache_misses(
+        self, size_kib: int, line_bytes: int, ways: int
+    ) -> tuple[list[int], ICache]:
+        """Per-event L1-I miss counts plus the final cache state.
+
+        The reference stream -- one ``touch_range(block_start, pc)`` per
+        event -- does not depend on the BTB under test (only the *charge*
+        per miss does), so a single replay of the real :class:`ICache`
+        serves every design.  The returned cache is the end-of-trace
+        state; a fast run deep-copies it into the simulator so post-run
+        inspection matches a live run.
+        """
+        key = (size_kib, line_bytes, ways)
+        cached = self._icache.get(key)
+        if cached is None:
+            icache = ICache(size_kib, line_bytes, ways)
+            touch_range = icache.touch_range
+            misses = [
+                touch_range(start, pc)
+                for start, pc in zip(self._block_starts, self._pcs)
+            ]
+            cached = (misses, icache)
+            self._icache[key] = cached
+        return cached
+
+    def direction_outcomes(self, signature: str) -> tuple[list[bool], object]:
+        """Per-event direction-correct bits plus the final predictor.
+
+        Only resolvable predictor configurations are replayable:
+        ``"tage-default"`` (the predictor ``FrontendSimulator`` builds
+        when none is supplied) replays a fresh
+        :class:`TageLitePredictor`; the perfect oracle never needs a
+        column.  Conditional direction state sees only (pc, outcome)
+        pairs, never the BTB, so the replay is design-independent.
+        """
+        cached = self._direction.get(signature)
+        if cached is None:
+            if signature != "tage-default":
+                raise ValueError(f"unknown direction signature {signature!r}")
+            predictor = TageLitePredictor()
+            predict_and_update = predictor.predict_and_update
+            outcomes = [True] * self.n_events
+            cond = _KIND_COND
+            for index, kind_value in enumerate(self._kinds):
+                if kind_value == cond:
+                    taken = self._takens[index]
+                    outcomes[index] = (
+                        predict_and_update(self._pcs[index], taken) == taken
+                    )
+            cached = (outcomes, predictor)
+            self._direction[signature] = cached
+        return cached

@@ -33,6 +33,12 @@ from repro.workloads.layout import (
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trace import Trace
 
+#: Generation-algorithm version: any change to the generator (or the
+#: layout model it walks) that alters emitted traces must bump this, so
+#: disk-cached traces keyed on it (repro.experiments.diskcache) are
+#: orphaned rather than silently replayed.
+GENERATOR_VERSION = 1
+
 _KIND_MAP = {
     LOOP: int(BranchKind.COND_DIRECT),
     COND: int(BranchKind.COND_DIRECT),

@@ -200,8 +200,24 @@ def build_suite(scale: str | None = None) -> list[WorkloadSpec]:
 def _cached_trace(name: str, scale: str) -> Trace:
     for spec in build_suite(scale):
         if spec.name == name:
-            return generate_trace(spec)
+            return _generate_or_load(spec)
     raise KeyError(f"no workload named {name!r} at scale {scale!r}")
+
+
+def _generate_or_load(spec) -> Trace:
+    """Serve a trace from the persistent disk cache, generating on miss.
+
+    Late import: the disk cache lives in the experiments layer and is
+    optional here (workloads must stay importable on their own).
+    """
+    from repro.experiments import diskcache
+
+    cached = diskcache.load_trace(spec)
+    if cached is not None:
+        return cached
+    trace = generate_trace(spec)
+    diskcache.store_trace(spec, trace)
+    return trace
 
 
 def get_trace(name: str, scale: str | None = None) -> Trace:

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from repro.branch.types import BranchEvent, BranchKind
+
+if TYPE_CHECKING:
+    from repro.workloads.decoded import DecodedTrace
 
 
 @dataclass
@@ -47,6 +50,8 @@ class Trace:
         self.takens.append(taken)
         self.targets.append(target)
         self.gaps.append(gap)
+        self._columns = None
+        self._decoded = None
 
     def truncate(self, length: int) -> None:
         """Trim the trace to at most ``length`` events."""
@@ -57,6 +62,78 @@ class Trace:
         del self.takens[length:]
         del self.targets[length:]
         del self.gaps[length:]
+        self._columns = None
+        self._decoded = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        category: str,
+        pcs: np.ndarray,
+        kinds: np.ndarray,
+        takens: np.ndarray,
+        targets: np.ndarray,
+        gaps: np.ndarray,
+    ) -> "Trace":
+        """Build a trace from numpy columns without per-element conversion.
+
+        The event lists come from bulk ``.tolist()`` (native ints/bools in
+        one C pass) and the arrays themselves are kept for vectorised
+        consumers (:meth:`columns` / :meth:`decoded`), so loading a trace
+        never round-trips through ``int(x)`` per event.
+        """
+        trace = cls(
+            name=name,
+            category=category,
+            pcs=pcs.tolist(),
+            kinds=kinds.tolist(),
+            takens=takens.tolist(),
+            targets=targets.tolist(),
+            gaps=gaps.tolist(),
+        )
+        trace._columns = (
+            np.ascontiguousarray(pcs, dtype=np.uint64),
+            np.ascontiguousarray(kinds, dtype=np.uint8),
+            np.ascontiguousarray(takens, dtype=np.bool_),
+            np.ascontiguousarray(targets, dtype=np.uint64),
+            np.ascontiguousarray(gaps, dtype=np.uint32),
+        )
+        return trace
+
+    # -- derived columns -----------------------------------------------------
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """Numpy views of the event columns ``(pcs, kinds, takens, targets,
+        gaps)``, built once and cached (invalidated by mutation)."""
+        cached = getattr(self, "_columns", None)
+        if cached is not None and len(cached[0]) == len(self.pcs):
+            return cached
+        columns = (
+            np.array(self.pcs, dtype=np.uint64),
+            np.array(self.kinds, dtype=np.uint8),
+            np.array(self.takens, dtype=np.bool_),
+            np.array(self.targets, dtype=np.uint64),
+            np.array(self.gaps, dtype=np.uint32),
+        )
+        self._columns = columns
+        return columns
+
+    def decoded(self) -> "DecodedTrace":
+        """The one-time :class:`DecodedTrace` for this trace, cached.
+
+        Derived per-event columns (block geometry, target page bits,
+        address hashes) plus lazily-built replay columns; see
+        :mod:`repro.workloads.decoded`.
+        """
+        from repro.workloads.decoded import DecodedTrace
+
+        cached = getattr(self, "_decoded", None)
+        if cached is not None and cached.n_events == len(self.pcs):
+            return cached
+        decoded = DecodedTrace.from_trace(self)
+        self._decoded = decoded
+        return decoded
 
     # -- iteration ------------------------------------------------------------
 
@@ -108,27 +185,28 @@ class Trace:
 
     def save(self, path: str | Path) -> None:
         """Serialise to a compressed ``.npz`` file."""
+        pcs, kinds, takens, targets, gaps = self.columns()
         np.savez_compressed(
             Path(path),
             name=np.array(self.name),
             category=np.array(self.category),
-            pcs=np.array(self.pcs, dtype=np.uint64),
-            kinds=np.array(self.kinds, dtype=np.uint8),
-            takens=np.array(self.takens, dtype=np.bool_),
-            targets=np.array(self.targets, dtype=np.uint64),
-            gaps=np.array(self.gaps, dtype=np.uint32),
+            pcs=pcs,
+            kinds=kinds,
+            takens=takens,
+            targets=targets,
+            gaps=gaps,
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
         """Load a trace previously written by :meth:`save`."""
         with np.load(Path(path)) as data:
-            return cls(
+            return cls.from_arrays(
                 name=str(data["name"]),
                 category=str(data["category"]),
-                pcs=[int(x) for x in data["pcs"]],
-                kinds=[int(x) for x in data["kinds"]],
-                takens=[bool(x) for x in data["takens"]],
-                targets=[int(x) for x in data["targets"]],
-                gaps=[int(x) for x in data["gaps"]],
+                pcs=data["pcs"],
+                kinds=data["kinds"],
+                takens=data["takens"],
+                targets=data["targets"],
+                gaps=data["gaps"],
             )

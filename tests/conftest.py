@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+# Tests must not read or pollute the developer's persistent cache; the
+# disk-cache tests opt back in against a tmp_path root.
+os.environ.setdefault("REPRO_DISK_CACHE", "0")
 
 from repro.branch.types import BranchEvent, BranchKind
 from repro.workloads.trace import Trace

@@ -36,6 +36,11 @@ def small_config(**overrides) -> PDedeConfig:
     return PDedeConfig(**base)
 
 
+def flat(btb, set_index: int, way: int) -> int:
+    """Flat storage index of (set, way) -- mirrors the BTB layout."""
+    return set_index * btb._ways + way
+
+
 def populated_pdede(**overrides) -> tuple[PDedeBTB, tuple[int, int]]:
     """A small PDede holding pointer and delta entries, plus the slot
     coordinates of one pointer-carrying (different-page) entry."""
@@ -44,10 +49,9 @@ def populated_pdede(**overrides) -> tuple[PDedeBTB, tuple[int, int]]:
         pc = 0x7F00_0000_1000 + index * 0x40
         btb.update(make_event(pc=pc, target=DIFF_PAGE_TARGET + index * 8))
         btb.update(make_event(pc=pc + 0x20, target=(pc + 0x20) + 0x100))
-    for set_index in range(btb._sets):
-        for way in range(btb._ways):
-            if btb._valid[set_index][way] and not btb._delta[set_index][way]:
-                return btb, (set_index, way)
+    for slot in range(btb._sets * btb._ways):
+        if btb._valid[slot] and not btb._delta[slot]:
+            return btb, divmod(slot, btb._ways)
     raise AssertionError("no pointer-carrying entry allocated")
 
 
@@ -69,7 +73,7 @@ def test_clean_structures_pass():
 
 def test_pointer_liveness_out_of_range():
     btb, (s, w) = populated_pdede()
-    btb._page_ptr[s][w] = btb.page_btb.entries + 7
+    btb._page_ptr[flat(btb, s, w)] = btb.page_btb.entries + 7
     violation = expect_violation("pointer-liveness", btb)
     assert violation.set_index == s and violation.way == w
     assert violation.snapshot["page_ptr"] == btb.page_btb.entries + 7
@@ -77,7 +81,7 @@ def test_pointer_liveness_out_of_range():
 
 def test_pointer_liveness_dangling_slot():
     btb, (s, w) = populated_pdede()
-    pointer = btb._page_ptr[s][w]
+    pointer = btb._page_ptr[flat(btb, s, w)]
     t_set, t_way = divmod(pointer, btb.page_btb.ways)
     btb.page_btb._valid[t_set][t_way] = False
     expect_violation("pointer-liveness", btb)
@@ -85,7 +89,7 @@ def test_pointer_liveness_dangling_slot():
 
 def test_generation_coherence_future_generation():
     btb, (s, w) = populated_pdede()
-    btb._region_gen[s][w] += 99
+    btb._region_gen[flat(btb, s, w)] += 99
     violation = expect_violation("generation-coherence", btb)
     assert "generation" in str(violation)
 
@@ -93,7 +97,7 @@ def test_generation_coherence_future_generation():
 def test_generation_coherence_stale_in_invalidating_mode():
     btb, (s, w) = populated_pdede(invalidate_stale_pointers=True)
     # Pretend the table slot moved on while the entry kept its pointer.
-    pointer = btb._page_ptr[s][w]
+    pointer = btb._page_ptr[flat(btb, s, w)]
     t_set, t_way = divmod(pointer, btb.page_btb.ways)
     btb.page_btb._generations[t_set][t_way] += 1
     expect_violation("generation-coherence", btb)
@@ -101,34 +105,48 @@ def test_generation_coherence_stale_in_invalidating_mode():
 
 def test_link_balance_missing_from_user_map():
     btb, (s, w) = populated_pdede(invalidate_stale_pointers=True)
-    pointer = btb._page_ptr[s][w]
+    pointer = btb._page_ptr[flat(btb, s, w)]
     btb._page_ptr_users[pointer].discard((s, w))
     expect_violation("link-balance", btb)
 
 
 def test_link_balance_ghost_in_user_map():
     btb, (s, w) = populated_pdede(invalidate_stale_pointers=True)
-    pointer = btb._page_ptr[s][w]
-    btb._valid[s][w] = False  # invalidated without unlinking
+    pointer = btb._page_ptr[flat(btb, s, w)]
+    btb._valid[flat(btb, s, w)] = False  # invalidated without unlinking
+    btb._tags[flat(btb, s, w)] = -1  # tag cleared properly; only the unlink missed
     assert (s, w) in btb._page_ptr_users[pointer]
     expect_violation("link-balance", btb)
 
 
 def test_delta_legality_pointer_entry_marked_delta():
     btb, (s, w) = populated_pdede()
-    btb._delta[s][w] = True  # still carries live pointers
+    btb._delta[flat(btb, s, w)] = True  # still carries live pointers
     expect_violation("delta-legality", btb)
 
 
 def test_field_width_corrupt_offset():
     btb, (s, w) = populated_pdede()
-    btb._offsets[s][w] = 1 << 13  # past the 12-bit page offset
+    btb._offsets[flat(btb, s, w)] = 1 << 13  # past the 12-bit page offset
     expect_violation("field-width", btb)
 
 
 def test_field_width_corrupt_tag():
     btb, (s, w) = populated_pdede()
-    btb._tags[s][w] = 1 << (btb.config.tag_bits + 2)
+    btb._tags[flat(btb, s, w)] = 1 << (btb.config.tag_bits + 2)
+    expect_violation("field-width", btb)
+
+
+def test_field_width_stale_tag_in_invalid_slot():
+    """Flat tag matching relies on invalid slots holding the -1 sentinel;
+    a stale real tag there would false-hit ``list.index``."""
+    btb, (s, w) = populated_pdede()
+    btb._valid[flat(btb, s, w)] = False
+    btb._tags[flat(btb, s, w)] = 0x3F  # plausible tag left behind
+    # Clear the user-map registration so link-balance doesn't fire first.
+    for users in (btb._page_ptr_users, btb._region_ptr_users):
+        for slots in users.values():
+            slots.discard((s, w))
     expect_violation("field-width", btb)
 
 
@@ -174,24 +192,23 @@ def test_ras_state_corrupt_size():
 def test_baseline_field_width():
     btb = BaselineBTB(entries=64, ways=4)
     btb.update(make_event())
-    for s in range(btb.sets):
-        for w in range(btb.ways):
-            if btb._valid[s][w]:
-                btb._targets[s][w] = 1 << (btb.target_bits + 1)
-                expect_violation("field-width", btb)
-                return
+    for slot in range(btb.sets * btb.ways):
+        if btb._valid[slot]:
+            btb._targets[slot] = 1 << (btb.target_bits + 1)
+            expect_violation("field-width", btb)
+            return
     raise AssertionError("no valid baseline entry allocated")
 
 
 def test_twolevel_recurses_into_levels():
     two = TwoLevelBTB(BaselineBTB(entries=64, ways=4), BaselineBTB(entries=128, ways=4))
     two.update(make_event())
-    for s in range(two.level1.sets):
-        for w in range(two.level1.ways):
-            if two.level1._valid[s][w]:
-                two.level1._conf[s][w] = 1 << (two.level1.conf_bits + 1)
-                expect_violation("field-width", two)
-                return
+    level1 = two.level1
+    for slot in range(level1.sets * level1.ways):
+        if level1._valid[slot]:
+            level1._conf[slot] = 1 << (level1.conf_bits + 1)
+            expect_violation("field-width", two)
+            return
     raise AssertionError("no valid L1 entry allocated")
 
 
@@ -215,7 +232,7 @@ def test_invalidation_unlinks_both_pointer_maps():
     for users in (btb._page_ptr_users, btb._region_ptr_users):
         for slots in users.values():
             for s, w in slots:
-                assert btb._valid[s][w], "user map references an invalid slot"
+                assert btb._valid[flat(btb, s, w)], "user map references an invalid slot"
 
 
 # -- disabled mode and interval machinery -----------------------------------
@@ -227,7 +244,7 @@ def test_disabled_mode_is_true_noop():
     assert get_sanitizer().snapshot() == {}
     # A corrupted structure sails through when the sanitizer is off.
     btb, (s, w) = populated_pdede()
-    btb._page_ptr[s][w] = btb.page_btb.entries + 7
+    btb._page_ptr[flat(btb, s, w)] = btb.page_btb.entries + 7
     btb.update(make_event(pc=0x7F00_0999_0000, target=0x7F00_0999_0100))
 
 
@@ -246,7 +263,7 @@ def test_step_interval_semantics():
 
 def test_armed_hook_catches_corruption_mid_run():
     btb, (s, w) = populated_pdede()
-    btb._offsets[s][w] = 1 << 14
+    btb._offsets[flat(btb, s, w)] = 1 << 14
     with use_sanitizer(Sanitizer(interval=1)):
         with pytest.raises(InvariantViolation):
             btb.update(make_event(pc=0x7F00_0999_0000, target=0x7F00_0999_0100))
@@ -263,7 +280,7 @@ def test_use_sanitizer_restores_previous():
 
 def test_violation_carries_structured_context():
     btb, (s, w) = populated_pdede()
-    btb._page_ptr[s][w] = -5
+    btb._page_ptr[flat(btb, s, w)] = -5
     with pytest.raises(InvariantViolation) as excinfo:
         check_pdede(btb)
     violation = excinfo.value

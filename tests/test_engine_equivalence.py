@@ -1,0 +1,134 @@
+"""The decoded-trace engine is an *optimisation*, not a model change:
+for every design it must reproduce the frozen seed engine's
+FrontendStats exactly (``to_dict()`` equality -- bit-identical floats,
+not approximate), and it must engage exactly when its gate says it can.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.sanitizer import Sanitizer, use_sanitizer
+from repro.experiments.designs import (
+    pdede_design,
+    standard_designs,
+    two_level_design,
+    with_ittage,
+    with_perfect_direction,
+    with_returns_in_btb,
+)
+from repro.frontend.seedref import SeedFrontendSimulator, seed_counterpart
+from repro.frontend.simulator import FrontendSimulator
+from repro.workloads.suite import get_trace
+
+TRACE_SCALE = "tiny"
+TRACE_APP = "server_oltp_00"
+
+
+def _designs():
+    designs = dict(standard_designs())
+    pdede = designs["pdede-multi-entry"]
+    designs["pdede+perfect-direction"] = with_perfect_direction(pdede)
+    designs["pdede+returns-in-btb"] = with_returns_in_btb(pdede)
+    designs["twolevel-pdede"] = two_level_design(512, pdede_design())
+    return designs
+
+
+def _run_both(design, trace):
+    btb, kwargs = design.build()
+    simulator = FrontendSimulator(btb, **kwargs)
+    stats = simulator.run(trace, warmup_fraction=0.3)
+    seed_btb, seed_kwargs = design.build()
+    reference = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs)
+    seed_stats = reference.run(trace, warmup_fraction=0.3)
+    return simulator, stats, seed_stats
+
+
+@pytest.mark.parametrize("key", sorted(_designs()))
+def test_fast_engine_matches_seed_exactly(key):
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    simulator, stats, seed_stats = _run_both(_designs()[key], trace)
+    assert simulator.last_engine == "fast"
+    assert stats.to_dict() == seed_stats.to_dict()
+
+
+def test_ittage_falls_back_to_general_engine_and_still_matches():
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    design = with_ittage(standard_designs()["pdede-default"])
+    simulator, stats, seed_stats = _run_both(design, trace)
+    assert simulator.last_engine == "general"
+    assert stats.to_dict() == seed_stats.to_dict()
+
+
+def test_warmup_zero_matches_seed():
+    # warmup_fraction=0 hits the seed's warm_limit==0 quirk: stats are
+    # never reset, so the fast loop must not reset them either.
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    design = standard_designs()["pdede-default"]
+    btb, kwargs = design.build()
+    simulator = FrontendSimulator(btb, **kwargs)
+    stats = simulator.run(trace, warmup_fraction=0.0)
+    seed_btb, seed_kwargs = design.build()
+    seed_stats = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs).run(
+        trace, warmup_fraction=0.0
+    )
+    assert simulator.last_engine == "fast"
+    assert stats.to_dict() == seed_stats.to_dict()
+
+
+def test_second_run_uses_general_engine():
+    # A reused simulator carries state from the first run; the fast
+    # engine's replay assumptions only hold from a pristine start.
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    btb, kwargs = standard_designs()["baseline"].build()
+    simulator = FrontendSimulator(btb, **kwargs)
+    simulator.run(trace, warmup_fraction=0.3)
+    assert simulator.last_engine == "fast"
+    simulator.run(trace, warmup_fraction=0.3)
+    assert simulator.last_engine == "general"
+
+
+def test_armed_sanitizer_forces_general_engine():
+    # The fast BTB hooks skip sanitizer_step (they are gated on the
+    # sanitizer being off); an armed sanitizer must see the full loop.
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    btb, kwargs = standard_designs()["pdede-default"].build()
+    simulator = FrontendSimulator(btb, **kwargs)
+    with use_sanitizer(Sanitizer(interval=1 << 20)):
+        simulator.run(trace, warmup_fraction=0.3)
+    assert simulator.last_engine == "general"
+
+
+def test_post_run_state_matches_live_objects():
+    # The fast engine adopts clones of the shared replay state; the
+    # post-run icache/direction must look exactly like a live run's.
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    design = standard_designs()["pdede-default"]
+    btb, kwargs = design.build()
+    fast = FrontendSimulator(btb, **kwargs)
+    fast.run(trace, warmup_fraction=0.3)
+    seed_btb, seed_kwargs = design.build()
+    general = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs)
+    general.run(trace, warmup_fraction=0.3)
+    assert fast.icache.accesses == general.icache.accesses
+    assert fast.icache.misses == general.icache.misses
+    assert fast.icache._lines == general.icache._lines
+    assert fast.direction._history == general.direction._history
+    assert fast.direction._rng_state == general.direction._rng_state
+
+
+def test_btb_metrics_match_between_engines():
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    for key, design in standard_designs().items():
+        btb, kwargs = design.build()
+        simulator = FrontendSimulator(btb, **kwargs)
+        simulator.run(trace, warmup_fraction=0.3)
+        seed_btb, seed_kwargs = design.build()
+        reference = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs)
+        reference.run(trace, warmup_fraction=0.3)
+        live = btb.stats
+        seed = reference.btb.stats
+        assert (live.lookups, live.hits, live.misses, live.updates) == (
+            seed.lookups, seed.hits, seed.misses, seed.updates
+        ), key
+        assert live.misses_by_kind == seed.misses_by_kind, key

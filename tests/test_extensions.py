@@ -30,7 +30,9 @@ def _stage_and_invalidate(btb, first_pc, first_target, second_pc, second_target)
     btb.update(make_event(pc=second_pc, target=second_target))
     set_index = btb._index(second_pc)
     way = btb._find_way(set_index, btb._tag(second_pc))
-    btb._valid[set_index][way] = False
+    slot = set_index * btb._ways + way
+    btb._valid[slot] = False
+    btb._tags[slot] = -1  # flat storage: invalid slots hold the tag sentinel
     btb.lookup(first_pc)  # stages the register
 
 

@@ -156,7 +156,9 @@ def test_multi_target_provides_next_target_on_miss():
     # Forcefully invalidate second_pc's entry to model a capacity miss.
     set_index = fresh._index(second_pc)
     way = fresh._find_way(set_index, fresh._tag(second_pc))
-    fresh._valid[set_index][way] = False
+    slot = set_index * fresh._ways + way
+    fresh._valid[slot] = False
+    fresh._tags[slot] = -1  # flat storage: invalid slots hold the tag sentinel
     staged = fresh.lookup(first_pc)
     assert staged.hit
     provided = fresh.lookup(second_pc)
@@ -207,8 +209,9 @@ def test_multi_entry_reserves_short_ways_for_same_page():
         if btb._index(candidate) == target_set:
             btb.update(make_event(pc=candidate, target=DIFF_PAGE_TARGET + filled * 8))
         filled += 1
-    long_valid = [btb._valid[target_set][w] for w in btb._long_ways]
-    short_valid = [btb._valid[target_set][w] for w in btb._short_ways]
+    base = target_set * btb._ways
+    long_valid = [btb._valid[base + w] for w in btb._long_ways]
+    short_valid = [btb._valid[base + w] for w in btb._short_ways]
     assert any(long_valid)
     assert not any(short_valid)
 
