@@ -15,6 +15,14 @@ metrics-registry snapshot, ``--trace-out FILE.jsonl`` dumps the span
 tree, ``--progress`` streams span completions to stderr.  ``simulate``
 and ``experiment`` also take ``--sanitize`` (README "Static checks &
 sanitizer") to run with the microarchitectural invariant checker armed.
+
+``experiment`` and ``report`` take the scheduler flags (README "Scaling
+out"): ``--workers N --shards K`` fan simulations out over the
+work-stealing shard scheduler, with ``--task-timeout``,
+``--max-retries``, and ``--scheduler-log FILE.jsonl`` controlling the
+fault-tolerance machinery.  Sharded output is bit-identical to serial
+output; scheduler failures go to stderr and the report's appendix,
+never into result rows.
 """
 
 from __future__ import annotations
@@ -145,13 +153,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import scheduler
+
     registry = _experiment_registry()
     if args.id not in registry:
         print(f"unknown experiment {args.id!r}; options: {sorted(registry)}",
               file=sys.stderr)
         return 2
     result = registry[args.id](scale=args.scale)
+    # stdout carries only the result rows -- sharded and serial runs stay
+    # byte-identical; scheduler degradation is stderr-only here.
     print(result.render())
+    for failure in scheduler.drain_failures():
+        print(f"scheduler: task {failure.task_id} failed after "
+              f"{failure.attempts} attempt(s) [{failure.kind}]: "
+              f"{failure.message}", file=sys.stderr)
     return 0
 
 
@@ -268,6 +284,33 @@ def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("scheduler")
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="forked worker processes for the shard scheduler "
+             "(default: REPRO_SCHED_WORKERS or serial)",
+    )
+    group.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shards per (app, design) run; merged stats are "
+             "bit-identical to unsharded (default: REPRO_SCHED_SHARDS or 1)",
+    )
+    group.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill + retry a scheduler task past this wall-clock budget",
+    )
+    group.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per task before it becomes a structured failure "
+             "(default: REPRO_SCHED_MAX_RETRIES or 2)",
+    )
+    group.add_argument(
+        "--scheduler-log", metavar="FILE.jsonl", default=None,
+        help="append one JSONL record per scheduler task outcome",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("observability")
     group.add_argument(
@@ -327,10 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id")
     _add_obs_flags(experiment)
     _add_sanitize_flags(experiment)
+    _add_scheduler_flags(experiment)
 
     report = sub.add_parser("report", help="run the full evaluation matrix")
     report.add_argument("--output", "-o", default=None)
     _add_obs_flags(report)
+    _add_scheduler_flags(report)
 
     check = sub.add_parser(
         "check", help="determinism linter and/or sanitized simulation",
@@ -401,6 +446,38 @@ def _sanitization(args: argparse.Namespace):
 
 
 @contextlib.contextmanager
+def _scheduling(args: argparse.Namespace):
+    """Scope the scheduler flags: install a process-wide config so every
+    ``run_suite`` under this command fans out the same way."""
+    flags = (
+        getattr(args, "workers", None),
+        getattr(args, "shards", None),
+        getattr(args, "task_timeout", None),
+        getattr(args, "max_retries", None),
+        getattr(args, "scheduler_log", None),
+    )
+    if all(value is None for value in flags):
+        yield
+        return
+    from repro.experiments import scheduler
+
+    workers, shards, task_timeout, max_retries, log_path = flags
+    scheduler.configure(
+        scheduler.resolve_config(
+            workers=workers,
+            shards=shards,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            log_path=log_path,
+        )
+    )
+    try:
+        yield
+    finally:
+        scheduler.configure(None)
+
+
+@contextlib.contextmanager
 def _observability(args: argparse.Namespace):
     """Scope the obs flags: enable, run, dump to the requested sinks."""
     metrics_out = getattr(args, "metrics_out", None)
@@ -441,7 +518,7 @@ def _observability(args: argparse.Namespace):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    with _observability(args), _sanitization(args):
+    with _observability(args), _sanitization(args), _scheduling(args):
         return _COMMANDS[args.command](args)
 
 

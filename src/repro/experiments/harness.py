@@ -7,8 +7,14 @@ files for different figures share the underlying runs, and repeated
 pytest-benchmark rounds cost one simulation.
 
 ``run_suite(..., workers=N)`` fans the per-application simulations out
-over a fork-based process pool -- useful at ``REPRO_SCALE=full`` where a
-single design sweep is 102 simulations.
+through the shard scheduler
+(:mod:`repro.experiments.scheduler`) -- a work-stealing fork pool with
+per-task timeouts, bounded retries, and disk-cache resume -- useful at
+``REPRO_SCALE=full`` where a single design sweep is 102 simulations.
+A group whose shards exhaust their retries is recorded as a structured
+failure (``scheduler.drain_failures``) and falls back to an inline
+serial run here, so a flaky worker degrades a sweep instead of
+aborting it.
 """
 
 from __future__ import annotations
@@ -24,14 +30,11 @@ from repro.frontend.stats import FrontendStats
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
-from repro.experiments import diskcache
+from repro.experiments import diskcache, scheduler
 from repro.experiments.designs import Design
 
 #: (trace name, scale, design key, params, warmup) -> FrontendStats
 _RESULT_CACHE: dict[tuple, FrontendStats] = {}
-
-#: Designs visible to pool workers (populated pre-fork by run_suite).
-_WORKER_DESIGNS: dict[str, Design] = {}
 
 #: Memo-cache telemetry (exposed by cache_info / the metrics registry).
 _CACHE_HITS = 0
@@ -204,24 +207,6 @@ class SuiteResult:
         }
 
 
-def _pool_worker(job: tuple) -> tuple[tuple, FrontendStats, float, int]:
-    """Pool entry point: simulate one (app, design) pair in a child.
-
-    Children are forked, so ``_WORKER_DESIGNS`` (and the parent's trace
-    cache) are inherited by reference; only the stats come back, plus
-    the wall seconds and worker pid so the parent can attribute
-    per-worker timing (a child's own tracer/registry die with it).
-    """
-    trace_name, design_key, params, warmup_fraction, scale = job
-    design = _WORKER_DESIGNS[design_key]
-    started = time.perf_counter()
-    stats = run_design(
-        trace_name, design, params=params, warmup_fraction=warmup_fraction, scale=scale
-    )
-    key = (trace_name, scale, design_key, params, warmup_fraction)
-    return key, stats, time.perf_counter() - started, os.getpid()
-
-
 def run_suite(
     design: Design,
     baseline: Design,
@@ -230,22 +215,41 @@ def run_suite(
     scale: str | None = None,
     baseline_params: CoreParams | None = None,
     workers: int | None = None,
+    shards: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
 ) -> SuiteResult:
     """Run ``design`` and ``baseline`` across the active suite.
 
     Args:
-        workers: fan the simulations out over this many forked worker
-            processes (default: serial; respects the result cache either
-            way).  Ignored on platforms without fork.
+        workers: fan the simulations out through the shard scheduler on
+            this many forked worker processes (default: the active
+            scheduler config, normally serial).
+        shards: split each trace's measured region into this many
+            scheduler tasks; per-shard stats are merged exactly, so the
+            result is bit-identical to an unsharded run.
+        task_timeout: wall-seconds budget per scheduler task.
+        max_retries: retry budget per scheduler task.
     """
     scale = scale or current_scale()
-    if workers and workers > 1 and hasattr(os, "fork") and cache_enabled():
-        _prefill_cache_parallel(
+    config = scheduler.resolve_config(
+        workers=workers,
+        shards=shards,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )
+    use_scheduler = (
+        (config.workers > 1 or config.shards > 1)
+        and hasattr(os, "fork")
+        and cache_enabled()
+    )
+    if use_scheduler:
+        _prefill_cache_scheduled(
             [design, baseline],
             params={design.key: params, baseline.key: baseline_params or params},
             warmup_fraction=warmup_fraction,
             scale=scale,
-            workers=workers,
+            config=config,
         )
     result = SuiteResult(design_key=design.key, baseline_key=baseline.key)
     for spec in build_suite(scale):
@@ -263,43 +267,41 @@ def run_suite(
     return result
 
 
-def _prefill_cache_parallel(
+def _prefill_cache_scheduled(
     designs: list[Design],
     params: dict[str, CoreParams],
     warmup_fraction: float,
     scale: str,
-    workers: int,
+    config: "scheduler.SchedulerConfig",
 ) -> None:
-    """Populate the result cache for (suite x designs) using a fork pool."""
-    import multiprocessing
+    """Populate the result cache for (suite x designs) via the scheduler.
 
-    jobs = []
+    Pairs already memoised are skipped.  Groups that come back merged
+    feed the memo (and, through the scheduler, the disk cache); groups
+    with a failed shard are simply *absent* -- the serial loop in
+    ``run_suite`` re-runs them inline, and the failure stays on record
+    for the report's appendix.
+    """
+    skip = set()
     for design in designs:
-        _WORKER_DESIGNS[design.key] = design
         for spec in build_suite(scale):
             key = (spec.name, scale, design.key, params[design.key], warmup_fraction)
-            if key not in _RESULT_CACHE:
-                get_trace(spec.name, scale)  # generate pre-fork, share via COW
-                jobs.append((spec.name, design.key, params[design.key],
-                             warmup_fraction, scale))
-    if not jobs:
-        return
-    registry = get_registry()
-    tracer = get_tracer()
-    worker_seconds = registry.histogram(
-        "harness_worker_seconds", "wall seconds per fork-pool job, by worker pid"
+            if key in _RESULT_CACHE:
+                skip.add((spec.name, design.key))
+    report = scheduler.run_grid(
+        designs,
+        params_by_design=params,
+        warmup_fraction=warmup_fraction,
+        scale=scale,
+        config=config,
+        skip=skip,
     )
-    context = multiprocessing.get_context("fork")
-    with tracer.span("fork-pool", jobs=len(jobs), workers=workers, scale=scale):
-        with context.Pool(processes=workers) as pool:
-            for key, stats, seconds, pid in pool.imap_unordered(_pool_worker, jobs):
-                _RESULT_CACHE[key] = stats
-                _RUN_SECONDS[(key[0], key[2])] = seconds
-                worker_seconds.observe(seconds, worker=pid)
-                tracer.event(
-                    "pool-job", app=key[0], design=key[2], seconds=round(seconds, 4),
-                    worker=pid,
-                )
+    for (trace_name, design_key), stats in report.merged.items():
+        key = (trace_name, scale, design_key, params[design_key], warmup_fraction)
+        _RESULT_CACHE[key] = stats
+        _RUN_SECONDS[(trace_name, design_key)] = report.group_seconds.get(
+            (trace_name, design_key), 0.0
+        )
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

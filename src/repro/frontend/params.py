@@ -11,7 +11,25 @@ the same.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
+
+
+def exact_ticks(cycles: float, tick: int) -> int:
+    """Convert a cycle quantity to integer ticks, refusing any rounding.
+
+    The tick-based engines only stay bit-identical to sequential float
+    accounting if every per-event quantity is an exact multiple of
+    ``1 / tick``; a configuration that violates that (e.g. an exotic
+    ``resteer_refill_factor``) must fail loudly rather than drift.
+    """
+    scaled = cycles * tick
+    ticks = round(scaled)
+    if ticks != scaled:
+        raise ValueError(
+            f"{cycles!r} cycles is not an exact multiple of 1/{tick} cycles"
+        )
+    return ticks
 
 
 @dataclass(frozen=True)
@@ -93,6 +111,20 @@ class CoreParams:
     def resteer_refill_cycles(self) -> float:
         """Extra cycles per resteer spent refilling the fetch queue."""
         return self.resteer_refill_factor * self.fetch_queue_entries / self.fetch_width
+
+    @property
+    def cycle_tick(self) -> int:
+        """Ticks per cycle for exact integer cycle accounting.
+
+        Every per-event cycle quantity in the timing model is a multiple
+        of ``1 / fetch_width``, ``1 / commit_width``, or ``1/2`` (the
+        overlapped ICache-miss cost and the default half-queue refill
+        shadow), so ``lcm(2 * fetch_width, commit_width)`` ticks per
+        cycle represents all of them exactly as integers.  Integer sums
+        are associative, which is what makes sharded runs mergeable
+        bit-for-bit (:meth:`repro.frontend.stats.FrontendStats.merge`).
+        """
+        return math.lcm(2 * self.fetch_width, self.commit_width)
 
 
 #: The paper's Table 3 core.

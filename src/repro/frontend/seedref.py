@@ -28,6 +28,15 @@ Two consumers:
 Do not "fix" or modernise this file alongside engine changes -- that is
 the one edit that would blind the referee.  Behavioural changes to the
 model belong in the live engine plus a deliberate update here.
+
+Deliberate update (sharded-scheduler PR): cycle accounting moved from
+sequential float accumulation to exact integer ticks
+(``CoreParams.cycle_tick``; see :class:`FrontendStats`), in lockstep
+with the live engines.  This is a model-accounting change -- cycle
+buckets shift by ulps; every microarchitectural event outcome is
+untouched -- and it is what makes per-shard stats mergeable bit for bit
+(``FrontendStats.merge``), with this referee still pinning both live
+engines exactly.
 """
 
 from __future__ import annotations
@@ -54,7 +63,7 @@ from repro.btb.replacement import make_replacement_policy
 from repro.core.config import PDedeConfig, PDedeMode
 from repro.core.tables import DedupValueTable
 from repro.frontend.icache import ICache
-from repro.frontend.params import CoreParams, ICELAKE
+from repro.frontend.params import CoreParams, ICELAKE, exact_ticks
 from repro.frontend.stats import FrontendStats
 from repro.workloads.trace import Trace
 
@@ -657,16 +666,25 @@ class SeedFrontendSimulator:
         params = self.params
         stats = FrontendStats()
         warm_limit = int(len(trace) * warmup_fraction)
-        slack = 0.0
-        slack_max = params.max_slack_cycles
-        fetch_width = params.fetch_width
-        commit_width = params.commit_width
-        miss_cycles = params.icache_miss_cycles
-        refill_shadow = params.resteer_refill_cycles
-        decode_penalty = params.decode_resteer_cycles + refill_shadow
-        execute_penalty = params.execute_resteer_cycles + refill_shadow
+        # Deliberate update: integer-tick cycle accounting (module docs).
+        tick = params.cycle_tick
+        slack = 0
+        slack_max = exact_ticks(params.max_slack_cycles, tick)
+        fetch_tick = tick // params.fetch_width
+        commit_tick = tick // params.commit_width
+        miss_ticks = params.icache_miss_cycles * tick
+        overlap_ticks = exact_ticks(_OVERLAPPED_MISS_CYCLES, tick)
+        refill_shadow = exact_ticks(params.resteer_refill_cycles, tick)
+        decode_penalty = params.decode_resteer_cycles * tick + refill_shadow
+        execute_penalty = params.execute_resteer_cycles * tick + refill_shadow
         measuring = warm_limit == 0
         blocks_since_resteer = _REFILL_WINDOW
+        cycles_ticks = 0
+        base_cycles_ticks = 0
+        icache_stall_ticks = 0
+        btb_bubble_ticks = 0
+        btb_resteer_ticks = 0
+        bad_speculation_ticks = 0
 
         btb = self.btb
         direction = self.direction
@@ -687,14 +705,14 @@ class SeedFrontendSimulator:
             icache_misses = icache_touch(block_start, pc)
             if icache_misses:
                 if blocks_since_resteer < _REFILL_WINDOW:
-                    icache_cost = icache_misses * miss_cycles
+                    icache_cost = icache_misses * miss_ticks
                 else:
-                    icache_cost = icache_misses * _OVERLAPPED_MISS_CYCLES
+                    icache_cost = icache_misses * overlap_ticks
             else:
-                icache_cost = 0.0
+                icache_cost = 0
 
-            penalty = 0.0
-            bubble = 0.0
+            penalty = 0
+            bubble = 0
             resteer_kind = 0
             btb_miss = False
             direction_mispredict = False
@@ -751,21 +769,21 @@ class SeedFrontendSimulator:
                             penalty = decode_penalty
                             resteer_kind = 1
                     elif taken and lookup.latency > 1:
-                        bubble = float(lookup.latency - 1)
+                        bubble = (lookup.latency - 1) * tick
 
-            supply = block_instructions / fetch_width + icache_cost + bubble
-            demand = block_instructions / commit_width
+            supply = block_instructions * fetch_tick + icache_cost + bubble
+            demand = block_instructions * commit_tick
             effective = supply - slack
             if effective > demand:
                 block_cycles = effective
-                slack = 0.0
+                slack = 0
             else:
                 block_cycles = demand
                 slack = slack + demand - supply
                 if slack > slack_max:
                     slack = slack_max
             if penalty:
-                slack = 0.0
+                slack = 0
                 blocks_since_resteer = 0
                 if self.model_wrong_path and wrong_path_addr >= 0:
                     icache_touch(wrong_path_addr, wrong_path_addr + self.wrong_path_bytes)
@@ -777,14 +795,14 @@ class SeedFrontendSimulator:
                 continue
 
             stats.instructions += block_instructions
-            stats.cycles += block_cycles + penalty
-            stats.base_cycles += demand
+            cycles_ticks += block_cycles + penalty
+            base_cycles_ticks += demand
             overrun = block_cycles - demand
             if overrun > 0:
                 icache_part = icache_cost if icache_cost < overrun else overrun
-                stats.icache_stall_cycles += icache_part
+                icache_stall_ticks += icache_part
                 rest = overrun - icache_part
-                stats.btb_bubble_cycles += bubble if bubble < rest else rest
+                btb_bubble_ticks += bubble if bubble < rest else rest
             stats.icache_misses += icache_misses
             stats.branches += 1
             if taken:
@@ -793,10 +811,10 @@ class SeedFrontendSimulator:
                 stats.btb_misses += 1
             if resteer_kind == 1:
                 stats.decode_resteers += 1
-                stats.btb_resteer_cycles += penalty
+                btb_resteer_ticks += penalty
             elif resteer_kind == 2:
                 stats.execute_resteers += 1
-                stats.bad_speculation_cycles += penalty
+                bad_speculation_ticks += penalty
             if direction_mispredict:
                 stats.direction_mispredicts += 1
             if indirect_mispredict:
@@ -805,6 +823,15 @@ class SeedFrontendSimulator:
                 stats.ras_mispredicts += 1
             if bubble:
                 stats.extra_latency_lookups += 1
+        stats.set_cycle_buckets(
+            tick,
+            cycles_ticks,
+            base_cycles_ticks,
+            icache_stall_ticks,
+            btb_bubble_ticks,
+            btb_resteer_ticks,
+            bad_speculation_ticks,
+        )
         return stats
 
 

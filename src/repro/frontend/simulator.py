@@ -29,6 +29,8 @@ not modelled (a second-order effect the paper notes qualitatively).
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.branch.direction import (
     DirectionPredictor,
     PerfectDirectionPredictor,
@@ -41,7 +43,7 @@ from repro.btb.ittage import ITTagePredictor
 from repro.btb.ras import ReturnAddressStack
 from repro.checks.sanitizer import get_sanitizer
 from repro.frontend.icache import ICache
-from repro.frontend.params import CoreParams, ICELAKE
+from repro.frontend.params import CoreParams, ICELAKE, exact_ticks
 from repro.frontend.stats import FrontendStats
 from repro.workloads.trace import Trace
 
@@ -112,7 +114,12 @@ class FrontendSimulator:
         #: decoded-trace loop applied, "general" otherwise).
         self.last_engine = "none"
 
-    def run(self, trace: Trace, warmup_fraction: float = 0.25) -> FrontendStats:
+    def run(
+        self,
+        trace: Trace,
+        warmup_fraction: float = 0.25,
+        measure_range: tuple[int, int] | None = None,
+    ) -> FrontendStats:
         """Simulate ``trace``; collect statistics after the warmup prefix.
 
         The paper warms microarchitectural state on 100M+ instructions
@@ -126,15 +133,35 @@ class FrontendSimulator:
         *general* per-event engine that handles every configuration
         (ITTAGE, wrong-path modelling, custom predictors, armed
         sanitizer, reused simulators).
+
+        Args:
+            measure_range: simulate one *shard* of the trace -- replay
+                events ``[0, start)`` for state warmup only, account
+                events ``[start, stop)``, and stop at ``stop``.  Because
+                measuring never feeds back into microarchitectural
+                state, summing the shard stats of a partitioned run with
+                :meth:`FrontendStats.merge` reproduces the unsharded
+                result exactly.  Overrides ``warmup_fraction``.  A shard
+                run is one-shot: post-run structure state is not
+                meaningful (the fast engine skips its end-of-trace state
+                adoption) and a subsequent ``run`` falls back to the
+                general engine like any reused simulator.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if measure_range is not None:
+            start, stop = measure_range
+            if not 0 <= start <= stop <= len(trace):
+                raise ValueError(
+                    f"measure_range {measure_range!r} out of bounds for "
+                    f"{len(trace)} events"
+                )
         if self._fast_path_applicable():
             self.last_engine = "fast"
-            stats = self._run_fast(trace, warmup_fraction)
+            stats = self._run_fast(trace, warmup_fraction, measure_range)
         else:
             self.last_engine = "general"
-            stats = self._run_general(trace, warmup_fraction)
+            stats = self._run_general(trace, warmup_fraction, measure_range)
         self._has_run = True
         registry = get_registry()
         if registry.enabled:
@@ -173,21 +200,45 @@ class FrontendSimulator:
             and self._direction_signature() is not None
         )
 
-    def _run_general(self, trace: Trace, warmup_fraction: float) -> FrontendStats:
-        """Reference per-event engine (every configuration)."""
+    def _run_general(
+        self,
+        trace: Trace,
+        warmup_fraction: float,
+        measure_range: tuple[int, int] | None = None,
+    ) -> FrontendStats:
+        """Reference per-event engine (every configuration).
+
+        All cycle quantities are integer *ticks* of ``1 / cycle_tick``
+        cycles (see :class:`FrontendStats`): exact, associative, and
+        therefore shard-mergeable.  The float buckets are derived once
+        at the end.
+        """
         params = self.params
         stats = FrontendStats()
-        warm_limit = int(len(trace) * warmup_fraction)
-        slack = 0.0
-        slack_max = params.max_slack_cycles
-        fetch_width = params.fetch_width
-        commit_width = params.commit_width
-        miss_cycles = params.icache_miss_cycles
-        refill_shadow = params.resteer_refill_cycles
-        decode_penalty = params.decode_resteer_cycles + refill_shadow
-        execute_penalty = params.execute_resteer_cycles + refill_shadow
+        n_events = len(trace)
+        if measure_range is None:
+            warm_limit = int(n_events * warmup_fraction)
+            stop = n_events
+        else:
+            warm_limit, stop = measure_range
+        tick = params.cycle_tick
+        slack = 0
+        slack_max = exact_ticks(params.max_slack_cycles, tick)
+        fetch_tick = tick // params.fetch_width
+        commit_tick = tick // params.commit_width
+        miss_ticks = params.icache_miss_cycles * tick
+        overlap_ticks = exact_ticks(_OVERLAPPED_MISS_CYCLES, tick)
+        refill_shadow = exact_ticks(params.resteer_refill_cycles, tick)
+        decode_penalty = params.decode_resteer_cycles * tick + refill_shadow
+        execute_penalty = params.execute_resteer_cycles * tick + refill_shadow
         measuring = warm_limit == 0
         blocks_since_resteer = _REFILL_WINDOW
+        cycles_ticks = 0
+        base_cycles_ticks = 0
+        icache_stall_ticks = 0
+        btb_bubble_ticks = 0
+        btb_resteer_ticks = 0
+        bad_speculation_ticks = 0
 
         btb = self.btb
         direction = self.direction
@@ -197,7 +248,9 @@ class FrontendSimulator:
         icache_touch = self.icache.touch_range
         returns_use_ras = self.returns_use_ras
 
-        for index, (pc, kind_value, taken, target, gap) in enumerate(trace.events()):
+        for index, (pc, kind_value, taken, target, gap) in islice(
+            enumerate(trace.events()), stop
+        ):
             if not measuring and index >= warm_limit:
                 measuring = True
                 btb.reset_stats()
@@ -208,15 +261,15 @@ class FrontendSimulator:
             icache_misses = icache_touch(block_start, pc)
             if icache_misses:
                 if blocks_since_resteer < _REFILL_WINDOW:
-                    icache_cost = icache_misses * miss_cycles
+                    icache_cost = icache_misses * miss_ticks
                 else:
-                    icache_cost = icache_misses * _OVERLAPPED_MISS_CYCLES
+                    icache_cost = icache_misses * overlap_ticks
             else:
-                icache_cost = 0.0
+                icache_cost = 0
 
             # ---- branch resolution -------------------------------------
-            penalty = 0.0
-            bubble = 0.0
+            penalty = 0
+            bubble = 0
             resteer_kind = 0  # 0 none, 1 decode, 2 execute
             btb_miss = False
             direction_mispredict = False
@@ -275,22 +328,22 @@ class FrontendSimulator:
                             resteer_kind = 1
                     elif taken and lookup.latency > 1:
                         # Correct target, one cycle late (Figure 9D).
-                        bubble = float(lookup.latency - 1)
+                        bubble = (lookup.latency - 1) * tick
 
             # ---- timing ------------------------------------------------
-            supply = block_instructions / fetch_width + icache_cost + bubble
-            demand = block_instructions / commit_width
+            supply = block_instructions * fetch_tick + icache_cost + bubble
+            demand = block_instructions * commit_tick
             effective = supply - slack
             if effective > demand:
                 block_cycles = effective
-                slack = 0.0
+                slack = 0
             else:
                 block_cycles = demand
                 slack = slack + demand - supply
                 if slack > slack_max:
                     slack = slack_max
             if penalty:
-                slack = 0.0
+                slack = 0
                 blocks_since_resteer = 0
                 if self.model_wrong_path and wrong_path_addr >= 0:
                     # Wrong-path fetches pollute the ICache (lines pulled
@@ -305,14 +358,14 @@ class FrontendSimulator:
 
             # ---- accounting ---------------------------------------------
             stats.instructions += block_instructions
-            stats.cycles += block_cycles + penalty
-            stats.base_cycles += demand
+            cycles_ticks += block_cycles + penalty
+            base_cycles_ticks += demand
             overrun = block_cycles - demand
             if overrun > 0:
                 icache_part = icache_cost if icache_cost < overrun else overrun
-                stats.icache_stall_cycles += icache_part
+                icache_stall_ticks += icache_part
                 rest = overrun - icache_part
-                stats.btb_bubble_cycles += bubble if bubble < rest else rest
+                btb_bubble_ticks += bubble if bubble < rest else rest
             stats.icache_misses += icache_misses
             stats.branches += 1
             if taken:
@@ -321,10 +374,10 @@ class FrontendSimulator:
                 stats.btb_misses += 1
             if resteer_kind == 1:
                 stats.decode_resteers += 1
-                stats.btb_resteer_cycles += penalty
+                btb_resteer_ticks += penalty
             elif resteer_kind == 2:
                 stats.execute_resteers += 1
-                stats.bad_speculation_cycles += penalty
+                bad_speculation_ticks += penalty
             if direction_mispredict:
                 stats.direction_mispredicts += 1
             if indirect_mispredict:
@@ -333,24 +386,42 @@ class FrontendSimulator:
                 stats.ras_mispredicts += 1
             if bubble:
                 stats.extra_latency_lookups += 1
+        stats.set_cycle_buckets(
+            tick,
+            cycles_ticks,
+            base_cycles_ticks,
+            icache_stall_ticks,
+            btb_bubble_ticks,
+            btb_resteer_ticks,
+            bad_speculation_ticks,
+        )
         return stats
 
-    def _run_fast(self, trace: Trace, warmup_fraction: float) -> FrontendStats:
+    def _run_fast(
+        self,
+        trace: Trace,
+        warmup_fraction: float,
+        measure_range: tuple[int, int] | None = None,
+    ) -> FrontendStats:
         """Decoded-column engine; bit-identical to :meth:`_run_general`.
 
         Per-event work that is trace-pure (hashing, page compare, block
         geometry, ICache reference stream, direction outcome) comes from
         the trace's cached :class:`DecodedTrace`; per-event BTB work goes
         through one combined ``observe_fast`` call; accounting runs on
-        locals and is flushed once at the end.  Float accumulation order
-        matches the general engine exactly.
+        integer-tick locals and is flushed once at the end.
         """
         params = self.params
         decoded = trace.decoded()
         n_events = decoded.n_events
-        warm_limit = int(n_events * warmup_fraction)
-        supply_col, demand_col = decoded.supply_demand(
-            params.fetch_width, params.commit_width
+        if measure_range is None:
+            warm_limit = int(n_events * warmup_fraction)
+            stop = n_events
+        else:
+            warm_limit, stop = measure_range
+        tick = params.cycle_tick
+        supply_col, demand_col = decoded.supply_demand_ticks(
+            tick // params.fetch_width, tick // params.commit_width
         )
         icache_col, icache_final = decoded.icache_misses(
             params.icache_kib, params.icache_line_bytes, params.icache_ways
@@ -362,12 +433,13 @@ class FrontendSimulator:
         else:
             direction_col, direction_final = decoded.direction_outcomes(signature)
 
-        slack = 0.0
-        slack_max = params.max_slack_cycles
-        miss_cycles = params.icache_miss_cycles
-        refill_shadow = params.resteer_refill_cycles
-        decode_penalty = params.decode_resteer_cycles + refill_shadow
-        execute_penalty = params.execute_resteer_cycles + refill_shadow
+        slack = 0
+        slack_max = exact_ticks(params.max_slack_cycles, tick)
+        miss_ticks = params.icache_miss_cycles * tick
+        overlap_ticks = exact_ticks(_OVERLAPPED_MISS_CYCLES, tick)
+        refill_shadow = exact_ticks(params.resteer_refill_cycles, tick)
+        decode_penalty = params.decode_resteer_cycles * tick + refill_shadow
+        execute_penalty = params.execute_resteer_cycles * tick + refill_shadow
         measuring = warm_limit == 0
         blocks_since_resteer = _REFILL_WINDOW
 
@@ -381,15 +453,15 @@ class FrontendSimulator:
         is_indirect_by_kind = _IS_INDIRECT
         kind_return = _KIND_RETURN
 
-        # FrontendStats fields, accumulated in locals (same += sequence,
-        # and therefore the same float rounding, as the general engine).
+        # FrontendStats fields, accumulated in integer-tick locals (the
+        # same exact sums as the general engine, in any order).
         instructions = 0
-        cycles = 0.0
-        base_cycles = 0.0
-        icache_stall_cycles = 0.0
-        btb_bubble_cycles = 0.0
-        btb_resteer_cycles = 0.0
-        bad_speculation_cycles = 0.0
+        cycles_ticks = 0
+        base_cycles_ticks = 0
+        icache_stall_ticks = 0
+        btb_bubble_ticks = 0
+        btb_resteer_ticks = 0
+        bad_speculation_ticks = 0
         branches = 0
         taken_branches = 0
         btb_miss_count = 0
@@ -421,20 +493,23 @@ class FrontendSimulator:
             hashed,
             is_same_page,
             direction_correct,
-        ) in enumerate(
-            zip(
-                trace.pcs,
-                trace.kinds,
-                trace.takens,
-                trace.targets,
-                decoded.block_instructions,
-                supply_col,
-                demand_col,
-                icache_col,
-                decoded.hashes,
-                decoded.same_page,
-                direction_col,
-            )
+        ) in islice(
+            enumerate(
+                zip(
+                    trace.pcs,
+                    trace.kinds,
+                    trace.takens,
+                    trace.targets,
+                    decoded.block_instructions,
+                    supply_col,
+                    demand_col,
+                    icache_col,
+                    decoded.hashes,
+                    decoded.same_page,
+                    direction_col,
+                )
+            ),
+            stop,
         ):
             if not measuring and index >= warm_limit:
                 measuring = True
@@ -447,14 +522,14 @@ class FrontendSimulator:
                 miss_kind_counts = [0] * len(_KINDS)
             if icache_misses:
                 if blocks_since_resteer < _REFILL_WINDOW:
-                    icache_cost = icache_misses * miss_cycles
+                    icache_cost = icache_misses * miss_ticks
                 else:
-                    icache_cost = icache_misses * _OVERLAPPED_MISS_CYCLES
+                    icache_cost = icache_misses * overlap_ticks
             else:
-                icache_cost = 0.0
+                icache_cost = 0
 
-            penalty = 0.0
-            bubble = 0.0
+            penalty = 0
+            bubble = 0
             resteer_kind = 0
             btb_miss = False
             indirect_mispredict = False
@@ -498,20 +573,20 @@ class FrontendSimulator:
                         penalty = decode_penalty
                         resteer_kind = 1
                 elif taken and latency > 1:
-                    bubble = float(latency - 1)
+                    bubble = (latency - 1) * tick
 
             supply = supply_base + icache_cost + bubble
             effective = supply - slack
             if effective > demand:
                 block_cycles = effective
-                slack = 0.0
+                slack = 0
             else:
                 block_cycles = demand
                 slack = slack + demand - supply
                 if slack > slack_max:
                     slack = slack_max
             if penalty:
-                slack = 0.0
+                slack = 0
                 blocks_since_resteer = 0
             else:
                 blocks_since_resteer += 1
@@ -520,14 +595,14 @@ class FrontendSimulator:
                 continue
 
             instructions += block_instructions
-            cycles += block_cycles + penalty
-            base_cycles += demand
+            cycles_ticks += block_cycles + penalty
+            base_cycles_ticks += demand
             overrun = block_cycles - demand
             if overrun > 0:
                 icache_part = icache_cost if icache_cost < overrun else overrun
-                icache_stall_cycles += icache_part
+                icache_stall_ticks += icache_part
                 rest = overrun - icache_part
-                btb_bubble_cycles += bubble if bubble < rest else rest
+                btb_bubble_ticks += bubble if bubble < rest else rest
             icache_miss_count += icache_misses
             branches += 1
             if taken:
@@ -536,10 +611,10 @@ class FrontendSimulator:
                 btb_miss_count += 1
             if resteer_kind == 1:
                 decode_resteers += 1
-                btb_resteer_cycles += penalty
+                btb_resteer_ticks += penalty
             elif resteer_kind == 2:
                 execute_resteers += 1
-                bad_speculation_cycles += penalty
+                bad_speculation_ticks += penalty
             if direction_mispredict:
                 direction_mispredicts += 1
             if indirect_mispredict:
@@ -551,12 +626,6 @@ class FrontendSimulator:
 
         stats = FrontendStats(
             instructions=instructions,
-            cycles=cycles,
-            base_cycles=base_cycles,
-            icache_stall_cycles=icache_stall_cycles,
-            btb_bubble_cycles=btb_bubble_cycles,
-            btb_resteer_cycles=btb_resteer_cycles,
-            bad_speculation_cycles=bad_speculation_cycles,
             branches=branches,
             taken_branches=taken_branches,
             btb_misses=btb_miss_count,
@@ -567,6 +636,15 @@ class FrontendSimulator:
             ras_mispredicts=ras_mispredicts,
             icache_misses=icache_miss_count,
             extra_latency_lookups=extra_latency_lookups,
+        )
+        stats.set_cycle_buckets(
+            tick,
+            cycles_ticks,
+            base_cycles_ticks,
+            icache_stall_ticks,
+            btb_bubble_ticks,
+            btb_resteer_ticks,
+            bad_speculation_ticks,
         )
         btb_stats = btb.stats
         btb_stats.lookups += lookups
@@ -582,9 +660,13 @@ class FrontendSimulator:
         # Adopt the replayed end-of-trace structure states so post-run
         # inspection (snapshots, a later general-engine run) matches a
         # live run; the cached replay objects themselves stay pristine.
-        self.icache = icache_final.clone()
-        if direction_final is not None:
-            self.direction = direction_final.clone()
+        # A shard run stops mid-trace, where the replayed finals do not
+        # describe the stopping point -- shard runs are one-shot, so the
+        # structures are simply left untouched.
+        if stop == n_events:
+            self.icache = icache_final.clone()
+            if direction_final is not None:
+                self.direction = direction_final.clone()
         return stats
 
     def publish_metrics(self, stats: FrontendStats, registry=None, app: str = "?") -> None:

@@ -103,7 +103,7 @@ class DecodedTrace:
         self._block_starts: list[int] = []
         self._takens: list[bool] = []
         self._kinds: list[int] = []
-        self._supply_demand: dict[tuple[int, int], tuple[list[float], list[float]]] = {}
+        self._supply_demand: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
         self._icache: dict[tuple[int, int, int], tuple[list[int], ICache]] = {}
         self._direction: dict[str, tuple[list[bool], object]] = {}
 
@@ -131,21 +131,26 @@ class DecodedTrace:
 
     # -- replayed / per-configuration columns -------------------------------
 
-    def supply_demand(
-        self, fetch_width: int, commit_width: int
-    ) -> tuple[list[float], list[float]]:
-        """Per-event ``instructions / fetch_width`` and ``/ commit_width``.
+    def supply_demand_ticks(
+        self, fetch_tick: int, commit_tick: int
+    ) -> tuple[list[int], list[int]]:
+        """Per-event supply/demand in integer ticks.
 
-        Block instruction counts are exact in float64, so the vectorised
-        division is bit-identical to the per-event Python division.
+        ``fetch_tick``/``commit_tick`` are the per-instruction tick
+        weights ``cycle_tick // fetch_width`` and
+        ``cycle_tick // commit_width`` (exact by construction of
+        :attr:`repro.frontend.params.CoreParams.cycle_tick`), so the
+        vectorised int64 multiply is exact -- bit-identical to the
+        per-event Python multiply and associative under sharded
+        summation.
         """
-        key = (fetch_width, commit_width)
+        key = (fetch_tick, commit_tick)
         cached = self._supply_demand.get(key)
         if cached is None:
-            instructions = np.array(self.block_instructions, dtype=np.float64)
+            instructions = np.array(self.block_instructions, dtype=np.int64)
             cached = (
-                (instructions / fetch_width).tolist(),
-                (instructions / commit_width).tolist(),
+                (instructions * fetch_tick).tolist(),
+                (instructions * commit_tick).tolist(),
             )
             self._supply_demand[key] = cached
         return cached

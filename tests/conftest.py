@@ -15,6 +15,18 @@ from repro.branch.types import BranchEvent, BranchKind
 from repro.workloads.trace import Trace
 
 
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache_dir(tmp_path, monkeypatch):
+    """Point the disk-cache root at a per-test tmpdir, unconditionally.
+
+    Even with ``REPRO_DISK_CACHE=0`` above, tests that opt back into the
+    cache (or scheduler tests that resume from it) must never read or
+    pollute a developer's real ``~/.cache/repro-pdede``.  Tests that
+    manage their own root simply ``monkeypatch.setenv`` over this.
+    """
+    monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path / "disk-cache"))
+
+
 def make_event(
     pc: int = 0x7F00_0040_1000,
     kind: BranchKind = BranchKind.COND_DIRECT,

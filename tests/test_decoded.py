@@ -53,12 +53,13 @@ def test_kind_property_columns(trace, decoded):
     assert decoded.is_indirect == [kind.is_indirect for kind in kinds]
 
 
-def test_supply_demand_is_exact_division(decoded):
-    supply, demand = decoded.supply_demand(6, 4)
-    assert supply == [count / 6 for count in decoded.block_instructions]
-    assert demand == [count / 4 for count in decoded.block_instructions]
-    assert decoded.supply_demand(6, 4) is decoded.supply_demand(6, 4)
-    assert decoded.supply_demand(8, 4)[0] != supply
+def test_supply_demand_ticks_are_exact_multiples(decoded):
+    supply, demand = decoded.supply_demand_ticks(10, 16)
+    assert supply == [count * 10 for count in decoded.block_instructions]
+    assert demand == [count * 16 for count in decoded.block_instructions]
+    assert all(isinstance(value, int) for value in supply[:64])
+    assert decoded.supply_demand_ticks(10, 16) is decoded.supply_demand_ticks(10, 16)
+    assert decoded.supply_demand_ticks(5, 16)[0] != supply
 
 
 def test_icache_misses_match_live_replay(trace, decoded):

@@ -132,3 +132,126 @@ def test_btb_metrics_match_between_engines():
             seed.lookups, seed.hits, seed.misses, seed.updates
         ), key
         assert live.misses_by_kind == seed.misses_by_kind, key
+
+
+# -- differential fuzzing ----------------------------------------------------
+#
+# The parametrised tests above lock the engines together on the suite's
+# traces; the fuzz sweep locks them together on *arbitrary* workloads.
+# Every spec is derived from a seed (no global RNG, no nondeterminism),
+# so a failure reproduces exactly; on divergence the failing workload is
+# shrunk to a short prefix and the spec + prefix land in the assertion
+# message, ready to paste into a regression test.
+
+import random
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import WorkloadSpec
+
+N_FUZZ_SWEEPS = 8
+_FUZZ_WARMUP = 0.25
+
+
+def _fuzz_spec(seed: int) -> WorkloadSpec:
+    rng = random.Random(seed)
+    return WorkloadSpec(
+        name=f"fuzz_{seed:04d}",
+        category="fuzz",
+        seed=rng.randrange(1 << 30),
+        n_events=rng.randrange(1500, 3500),
+        n_functions=rng.choice([150, 400, 900]),
+        blocks_per_fn_mean=rng.choice([4.0, 9.0, 14.0]),
+        block_instrs_mean=rng.choice([3.0, 5.0, 8.0]),
+        n_regions=rng.randrange(3, 6),
+        functions_per_page_mean=rng.choice([1.5, 4.5, 8.0]),
+        loop_fraction=rng.choice([0.1, 0.25, 0.4]),
+        mean_trip_count=rng.choice([2.0, 7.0, 20.0]),
+        cond_taken_bias=rng.uniform(0.2, 0.8),
+        never_taken_fraction=rng.uniform(0.1, 0.6),
+        indirect_fanout=rng.randrange(1, 9),
+        n_phases=rng.randrange(1, 7),
+        hot_functions_per_phase=rng.randrange(4, 40),
+        zipf_s=rng.uniform(0.8, 1.6),
+        sweep_fraction=rng.uniform(0.0, 0.3),
+        max_call_depth=rng.randrange(4, 20),
+    )
+
+
+def _fuzz_design(seed: int):
+    rng = random.Random(seed * 2654435761 % (1 << 31))
+    designs = dict(standard_designs())
+    designs["twolevel-pdede"] = two_level_design(512, pdede_design())
+    designs["pdede+perfect-direction"] = with_perfect_direction(
+        designs["pdede-multi-entry"]
+    )
+    # with_ittage forces the general engine, so the sweep exercises the
+    # fast *and* the general path against the seed referee.
+    designs["pdede+ittage"] = with_ittage(designs["pdede-default"])
+    key = rng.choice(sorted(designs))
+    return key, designs[key]
+
+
+def _diff_fields(design, trace) -> dict:
+    """Field-by-field diff of fast/general vs seed stats ({} if equal)."""
+    btb, kwargs = design.build()
+    live = FrontendSimulator(btb, **kwargs).run(
+        trace, warmup_fraction=_FUZZ_WARMUP
+    )
+    seed_btb, seed_kwargs = design.build()
+    ref = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs).run(
+        trace, warmup_fraction=_FUZZ_WARMUP
+    )
+    live_dict, ref_dict = live.to_dict(), ref.to_dict()
+    return {
+        field: (live_dict[field], ref_dict[field])
+        for field in sorted(live_dict.keys() | ref_dict.keys())
+        if live_dict.get(field) != ref_dict.get(field)
+    }
+
+
+def _shrink_prefix(design, spec, failing_length: int) -> int:
+    """Binary-search a short failing prefix of the workload.
+
+    Divergence is not guaranteed monotone in the prefix length, so this
+    finds *a* small failing prefix rather than the minimum -- which is
+    all a reproduction snippet needs.
+    """
+    low, high = 1, failing_length
+    while low < high:
+        mid = (low + high) // 2
+        prefix = generate_trace(spec)
+        prefix.truncate(mid)
+        if _diff_fields(design, prefix):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+@pytest.mark.parametrize("fuzz_seed", range(N_FUZZ_SWEEPS))
+def test_differential_fuzz_engines_agree(fuzz_seed):
+    spec = _fuzz_spec(fuzz_seed)
+    design_key, design = _fuzz_design(fuzz_seed)
+    trace = generate_trace(spec)
+    diff = _diff_fields(design, trace)
+    if diff:
+        shrunk = _shrink_prefix(design, spec, len(trace))
+        raise AssertionError(
+            f"engines diverge on fuzz seed {fuzz_seed} "
+            f"(design {design_key!r}, {len(trace)} events; "
+            f"shrunk to first {shrunk} events).\n"
+            f"Reproduce with: generate_trace({spec!r}).truncate({shrunk})\n"
+            "Differing fields (fast/general vs seed): "
+            + ", ".join(f"{k}: {a!r} != {b!r}" for k, (a, b) in diff.items())
+        )
+
+
+def test_fuzz_sweep_is_deterministic():
+    # The whole sweep must be derivable from seeds alone: same spec
+    # object, same trace bytes, both times.
+    spec_a, spec_b = _fuzz_spec(3), _fuzz_spec(3)
+    assert spec_a == spec_b
+    trace_a, trace_b = generate_trace(spec_a), generate_trace(spec_b)
+    assert trace_a.pcs == trace_b.pcs
+    assert trace_a.targets == trace_b.targets
+    assert _fuzz_design(5)[0] == _fuzz_design(5)[0]

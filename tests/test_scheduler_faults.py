@@ -1,0 +1,255 @@
+"""Fault tolerance of the shard scheduler.
+
+Injected faults -- a runner that raises, a worker that sleeps past its
+deadline, a worker that dies outright, a corrupted disk-cache entry --
+must degrade a sweep (retries, then a structured failure in the report)
+rather than abort it, and a killed sweep must resume from the disk
+cache without re-simulating finished shards.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import diskcache
+from repro.experiments import scheduler as sched
+from repro.experiments.designs import baseline_design, pdede_design
+from repro.experiments.scheduler import (
+    SchedulerConfig,
+    ShardTask,
+    build_shard_tasks,
+    drain_failures,
+    run_grid,
+)
+from repro.frontend.simulator import FrontendSimulator
+from repro.workloads.suite import build_suite, get_trace
+
+SCALE = "tiny"
+#: Fast retries so fault tests stay sub-second per backoff.
+FAST = dict(max_retries=2, backoff_base=0.01, backoff_max=0.05)
+
+
+@pytest.fixture(autouse=True)
+def _clean_session_failures():
+    drain_failures()
+    yield
+    drain_failures()
+
+
+def _specs():
+    return build_suite(SCALE)[:1]
+
+
+def _reference_stats(design, spec):
+    btb, kwargs = design.build()
+    simulator = FrontendSimulator(btb, **kwargs)
+    return simulator.run(get_trace(spec.name, SCALE), warmup_fraction=0.3)
+
+
+def test_raising_runner_is_retried_with_backoff():
+    design = baseline_design()
+    spec = _specs()[0]
+    attempts_seen = []
+
+    def flaky(task, attempt):
+        if task.shard_index == 1 and attempt <= 2:
+            attempts_seen.append(attempt)
+            raise RuntimeError("injected")
+        return sched._default_runner(task, attempt)
+
+    started = time.perf_counter()
+    report = run_grid(
+        [design], scale=SCALE, specs=_specs(), runner=flaky,
+        config=SchedulerConfig(workers=1, shards=3, **FAST),
+    )
+    elapsed = time.perf_counter() - started
+    assert attempts_seen == [1, 2]
+    assert report.counters["retries"] == 2
+    assert report.counters["failed"] == 0
+    # Backoff actually waited: 0.01 + 0.02 of scheduled delay.
+    assert elapsed >= 0.03
+    merged = report.merged[(spec.name, design.key)]
+    assert merged.to_dict() == _reference_stats(design, spec).to_dict()
+
+
+def test_exhausted_retries_become_structured_failure():
+    design = baseline_design()
+    spec = _specs()[0]
+
+    def broken(task, attempt):
+        if task.shard_index == 0:
+            raise ValueError("permanently broken shard")
+        return sched._default_runner(task, attempt)
+
+    report = run_grid(
+        [design], scale=SCALE, specs=_specs(), runner=broken,
+        config=SchedulerConfig(workers=1, shards=3, **FAST),
+    )
+    # The sweep completed: the other shards ran, nothing raised out.
+    assert report.counters["completed"] == 2
+    assert report.counters["failed"] == 1
+    assert (spec.name, design.key) not in report.merged
+    (failure,) = report.failures
+    assert failure.kind == "exception"
+    assert failure.attempts == 3  # first try + max_retries
+    assert "permanently broken" in failure.message
+    assert failure.shard_index == 0
+    # The failure is on the session record for the report appendix.
+    assert [f.task_id for f in drain_failures()] == [failure.task_id]
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork not available")
+def test_worker_sleeping_past_timeout_is_killed_and_reported():
+    design = baseline_design()
+
+    def sleepy(task, attempt):
+        if task.shard_index == 2:
+            time.sleep(60)
+        return sched._default_runner(task, attempt)
+
+    report = run_grid(
+        [design], scale=SCALE, specs=_specs(), runner=sleepy,
+        config=SchedulerConfig(
+            workers=2, shards=3, task_timeout=1.0, max_retries=1,
+            backoff_base=0.01,
+        ),
+    )
+    assert report.counters["timeouts"] == 2  # first try + one retry
+    assert report.counters["failed"] == 1
+    (failure,) = report.failures
+    assert failure.kind == "timeout"
+    assert "1.0" in failure.message
+    # The non-faulty shards still completed.
+    assert report.counters["completed"] == 2
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork not available")
+def test_dead_worker_is_respawned_and_task_retried():
+    design = baseline_design()
+    spec = _specs()[0]
+
+    def dying(task, attempt):
+        if task.shard_index == 1 and attempt == 1:
+            os._exit(13)
+        return sched._default_runner(task, attempt)
+
+    report = run_grid(
+        [design], scale=SCALE, specs=_specs(), runner=dying,
+        config=SchedulerConfig(workers=2, shards=3, **FAST),
+    )
+    assert report.counters["crashes"] == 1
+    assert report.counters["failed"] == 0
+    merged = report.merged[(spec.name, design.key)]
+    assert merged.to_dict() == _reference_stats(design, spec).to_dict()
+
+
+def test_corrupted_disk_cache_entry_is_resimulated(monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    design = baseline_design()
+    spec = _specs()[0]
+    config = SchedulerConfig(workers=1, shards=3, **FAST)
+    report = run_grid([design], scale=SCALE, specs=_specs(), config=config)
+    assert report.counters["fresh"] == 3
+
+    # Corrupt one shard's entry on disk, mid-sweep-sequence.
+    tasks = build_shard_tasks([design], {}, 0.3, SCALE, 3, specs=_specs())
+    victim = tasks[1]
+    path = diskcache._result_path(victim.disk_key)
+    assert path.exists()
+    path.write_text("{ not json")
+
+    executed: list[int] = []
+
+    def counting(task, attempt):
+        executed.append(task.shard_index)
+        return sched._default_runner(task, attempt)
+
+    report2 = run_grid(
+        [design], scale=SCALE, specs=_specs(), config=config, runner=counting
+    )
+    # Only the corrupted shard was re-simulated; the rest disk-hit.
+    assert executed == [victim.shard_index]
+    assert report2.counters["disk_hits"] == 2
+    assert report2.counters["failed"] == 0
+    merged = report2.merged[(spec.name, design.key)]
+    assert merged.to_dict() == _reference_stats(design, spec).to_dict()
+
+
+def test_killed_sweep_resumes_without_resimulating_cached_shards(monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    design = pdede_design()
+    spec = _specs()[0]
+    config = SchedulerConfig(workers=1, shards=4, **FAST)
+
+    # "Kill" the sweep after two shards: the runner aborts the process
+    # loop by raising through max_retries on every later shard.
+    class Killed(Exception):
+        pass
+
+    def dies_midway(task, attempt):
+        if task.shard_index >= 2:
+            raise Killed("sweep killed")
+        return sched._default_runner(task, attempt)
+
+    first = run_grid(
+        [design], scale=SCALE, specs=_specs(), config=config, runner=dies_midway
+    )
+    assert first.counters["fresh"] == 2 and first.counters["failed"] == 2
+    drain_failures()
+
+    executed: list[int] = []
+
+    def counting(task, attempt):
+        executed.append(task.shard_index)
+        return sched._default_runner(task, attempt)
+
+    resumed = run_grid(
+        [design], scale=SCALE, specs=_specs(), config=config, runner=counting
+    )
+    # Zero fresh re-simulation of already-cached shards: only the two
+    # shards the first run never finished execute now.
+    assert sorted(executed) == [2, 3]
+    assert resumed.counters["disk_hits"] == 2
+    assert resumed.counters["fresh"] == 2
+    merged = resumed.merged[(spec.name, design.key)]
+    assert merged.to_dict() == _reference_stats(design, spec).to_dict()
+
+    # A third run re-simulates nothing at all: the merged group was also
+    # stored under the unsharded key, and every shard is cached.
+    executed.clear()
+    third = run_grid(
+        [design], scale=SCALE, specs=_specs(), config=config, runner=counting
+    )
+    assert executed == []
+    assert third.counters["disk_hits"] == 4
+    assert third.merged[(spec.name, design.key)].to_dict() == merged.to_dict()
+
+
+def test_grid_with_multiple_designs_merges_every_group():
+    designs = [baseline_design(), pdede_design()]
+    specs = _specs()
+    report = run_grid(
+        designs, scale=SCALE, specs=specs,
+        config=SchedulerConfig(workers=1, shards=2, **FAST),
+    )
+    assert set(report.merged) == {
+        (spec.name, design.key) for spec in specs for design in designs
+    }
+    assert not report.failures
+
+
+def test_shard_task_ids_and_grouping():
+    tasks = build_shard_tasks(
+        [baseline_design()], {}, 0.3, SCALE, 3, specs=_specs()
+    )
+    assert len(tasks) == 3
+    assert [t.task_id for t in tasks] == [
+        f"{tasks[0].trace_name}:{tasks[0].design_key}:{i + 1}/3" for i in range(3)
+    ]
+    assert len({t.group for t in tasks}) == 1
+    assert all(isinstance(t, ShardTask) for t in tasks)
+    assert tasks[0].start == int(tasks[0].n_events * 0.3)
+    assert tasks[-1].stop == tasks[0].n_events
