@@ -8,6 +8,11 @@ Commands:
 * ``experiment``    -- run a paper figure/table by id and print its rows.
 * ``report``        -- run the whole evaluation, emit a markdown report.
 * ``check``         -- determinism linter and/or sanitized simulation.
+* ``serve``         -- run the HTTP/JSON simulation service (README
+  "Serving the simulator"): micro-batching, bounded admission queue,
+  graceful drain on SIGTERM.
+* ``submit``        -- submit one simulation request to a running
+  service and print the response payload.
 
 ``simulate``, ``experiment``, and ``report`` share the observability
 flags (README "Observability"): ``--metrics-out FILE.json`` dumps the
@@ -29,35 +34,19 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 
-from repro.core.config import PDedeMode
-from repro.experiments import (
-    baseline_design,
-    dedup_only_design,
-    partition_only_design,
-    pdede_design,
-    run_design,
-    shotgun_design,
-)
+from repro.experiments import design_registry, run_design
 from repro.obs.metrics import enable_metrics, use_registry
 from repro.obs.tracing import NullTracer, Tracer, use_tracer
 from repro.workloads.suite import SCALES, build_suite
 
 
 def _design_registry() -> dict:
-    return {
-        "baseline": baseline_design(),
-        "baseline-6144": baseline_design(entries=6144, key="baseline-6144"),
-        "baseline-8192": baseline_design(entries=8192),
-        "pdede-default": pdede_design(PDedeMode.DEFAULT),
-        "pdede-multi-target": pdede_design(PDedeMode.MULTI_TARGET),
-        "pdede-multi-entry": pdede_design(PDedeMode.MULTI_ENTRY),
-        "dedup-only": dedup_only_design(),
-        "partition-only": partition_only_design(),
-        "shotgun": shotgun_design(),
-    }
+    """The stable design-name mapping (now shared with ``repro.serve``)."""
+    return design_registry()
 
 
 def _experiment_registry() -> dict:
@@ -227,6 +216,69 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(violation, file=sys.stderr)
             failed = True
     return 1 if failed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+
+    from repro.serve import SimulationService, config_from_env
+
+    overrides = {
+        name: value
+        for name, value in {
+            "host": args.host,
+            "port": args.port,
+            "batch_window": args.batch_window,
+            "queue_limit": args.queue_limit,
+            "workers": args.serve_workers,
+            "drain_timeout": args.drain_timeout,
+            "default_scale": args.scale,
+        }.items()
+        if value is not None
+    }
+    service = SimulationService(config=config_from_env().replace(**overrides))
+
+    def ready() -> None:
+        print(f"serving on http://{service.config.host}:{service.port} "
+              f"(queue limit {service.config.queue_limit}, "
+              f"batch window {service.config.batch_window * 1000:.0f}ms)",
+              file=sys.stderr)
+
+    asyncio.run(service.serve_forever(_on_ready=ready))
+    print("drained; bye", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one request to a running service; stdout carries the exact
+    response payload (canonical stats JSON), metadata goes to stderr."""
+    from repro.serve import ServeClient, ServiceError
+
+    client = ServeClient(host=args.host, port=args.port, timeout=args.timeout)
+    params = json.loads(args.params) if args.params else None
+    try:
+        response = client.simulate(
+            design=args.design,
+            app=args.app,
+            params=params,
+            warmup=args.warmup,
+            scale=args.scale,
+        )
+    except ServiceError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        if error.retry_after is not None:
+            print(f"submit: retry after {error.retry_after:.0f}s", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"submit: cannot reach {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.buffer.write(response.body)
+    sys.stdout.buffer.write(b"\n")
+    print(f"submit: outcome={response.outcome} "
+          f"batch-size={response.batch_size}", file=sys.stderr)
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -405,6 +457,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--warmup", type=float, default=0.3)
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON simulation service",
+        epilog=_epilog(), formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: REPRO_SERVE_HOST or 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port, 0 for ephemeral "
+                            "(default: REPRO_SERVE_PORT or 8337)")
+    serve.add_argument("--batch-window", type=float, default=None, metavar="SECONDS",
+                       help="micro-batch collection window "
+                            "(default: REPRO_SERVE_BATCH_WINDOW or 0.02)")
+    serve.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                       help="max queued+running requests before 429 "
+                            "(default: REPRO_SERVE_QUEUE_LIMIT or 64)")
+    serve.add_argument("--workers", dest="serve_workers", type=int, default=None,
+                       metavar="N",
+                       help="batch-executor threads "
+                            "(default: REPRO_SERVE_WORKERS or 2)")
+    serve.add_argument("--drain-timeout", type=float, default=None, metavar="SECONDS",
+                       help="max wait for in-flight requests on shutdown "
+                            "(default: REPRO_SERVE_DRAIN_TIMEOUT or 30)")
+    # --metrics-out enables the recording registry, so /metrics serves a
+    # live snapshot and the file is written after the drain completes.
+    _add_obs_flags(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one request to a running service",
+        epilog=_epilog(), formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    submit.add_argument("app", help="suite workload name")
+    submit.add_argument("design", help="design key")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8337)
+    submit.add_argument("--warmup", type=float, default=None,
+                        help="warmup fraction (default: the service's 0.3)")
+    submit.add_argument("--params", default=None, metavar="JSON",
+                        help='CoreParams overrides, e.g. \'{"fetch_width": 8}\'')
+    submit.add_argument("--timeout", type=float, default=60.0)
+
     return parser
 
 
@@ -415,6 +507,8 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "report": cmd_report,
     "check": cmd_check,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

@@ -155,3 +155,24 @@ def standard_designs() -> dict[str, Design]:
         "pdede-multi-target": pdede_design(PDedeMode.MULTI_TARGET),
         "pdede-multi-entry": pdede_design(PDedeMode.MULTI_ENTRY),
     }
+
+
+def design_registry() -> dict[str, Design]:
+    """Every stably-named design a request may ask for by key.
+
+    Shared by the CLI (``simulate DESIGN`` / ``--design``) and the
+    serving layer, which validates incoming requests against exactly
+    this mapping.  Note the ``"baseline"`` registry name maps to the
+    4096-entry design whose internal key is ``baseline-4096``.
+    """
+    return {
+        "baseline": baseline_design(),
+        "baseline-6144": baseline_design(entries=6144, key="baseline-6144"),
+        "baseline-8192": baseline_design(entries=8192),
+        "pdede-default": pdede_design(PDedeMode.DEFAULT),
+        "pdede-multi-target": pdede_design(PDedeMode.MULTI_TARGET),
+        "pdede-multi-entry": pdede_design(PDedeMode.MULTI_ENTRY),
+        "dedup-only": dedup_only_design(),
+        "partition-only": partition_only_design(),
+        "shotgun": shotgun_design(),
+    }

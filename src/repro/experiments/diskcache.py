@@ -60,6 +60,7 @@ __all__ = [
     "clear_disk_cache",
     "disk_cache_enabled",
     "disk_cache_info",
+    "has_result",
     "load_result",
     "load_trace",
     "reset_disk_telemetry",
@@ -349,6 +350,12 @@ def store_trace(spec: WorkloadSpec, trace: Trace) -> None:
 
 def _result_path(key: str) -> Path:
     return cache_root() / "results" / f"{key}.json"
+
+
+def has_result(key: str) -> bool:
+    """Whether a result entry exists, without loading it or touching the
+    hit/miss telemetry (the serving layer's cache probes use this)."""
+    return disk_cache_enabled() and _result_path(key).exists()
 
 
 def load_result(key: str) -> FrontendStats | None:

@@ -140,6 +140,83 @@ def run_design(
     return stats
 
 
+def run_one(
+    trace_name: str,
+    design: Design,
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.3,
+    scale: str | None = None,
+) -> FrontendStats:
+    """Simulate one (app, design) pair -- the single-request entry point.
+
+    Alias of :func:`run_design`; the serving layer's tests byte-compare
+    service responses against this function's results.
+    """
+    return run_design(
+        trace_name,
+        design,
+        params=params,
+        warmup_fraction=warmup_fraction,
+        scale=scale,
+    )
+
+
+def lookup_cached(
+    trace_name: str,
+    design: Design,
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.3,
+    scale: str | None = None,
+) -> tuple[FrontendStats | None, str]:
+    """Peek the memo and disk caches without ever simulating.
+
+    Returns ``(stats, outcome)`` where outcome is ``"memo"``, ``"disk"``
+    or ``"miss"`` (stats is ``None`` on a miss).  A disk hit is promoted
+    into the memo so the next peek is a memo hit.  Deliberately does not
+    touch :func:`cache_info` telemetry -- that surface counts
+    :func:`run_design` lookups only; the serving layer publishes its own
+    ``serve_cache_outcome_total`` series.
+    """
+    scale = scale or current_scale()
+    if not cache_enabled():
+        return None, "miss"
+    key = (trace_name, scale, design.key, params, warmup_fraction)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return cached, "memo"
+    if diskcache.disk_cache_enabled():
+        disk_key = diskcache.result_key(
+            trace_name, scale, design.key, params, warmup_fraction,
+            spec=_find_spec(trace_name, scale),
+        )
+        stats = diskcache.load_result(disk_key)
+        if stats is not None:
+            _RESULT_CACHE[key] = stats
+            return stats, "disk"
+    return None, "miss"
+
+
+def adopt_result(
+    trace_name: str,
+    design: Design,
+    stats: FrontendStats,
+    params: CoreParams = ICELAKE,
+    warmup_fraction: float = 0.3,
+    scale: str | None = None,
+) -> None:
+    """Install an externally-computed result in the memo cache.
+
+    The serving layer's scheduler bridge computes results through
+    :func:`repro.experiments.scheduler.run_grid` (which persists them to
+    the disk cache itself) and adopts them here so later ``run_design``
+    and :func:`lookup_cached` calls memo-hit.
+    """
+    if not cache_enabled():
+        return
+    scale = scale or current_scale()
+    _RESULT_CACHE[(trace_name, scale, design.key, params, warmup_fraction)] = stats
+
+
 def _find_spec(trace_name: str, scale: str):
     """The suite spec behind ``trace_name`` (None for ad-hoc traces)."""
     for spec in build_suite(scale):

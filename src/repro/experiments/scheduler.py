@@ -74,6 +74,8 @@ __all__ = [
     "resolve_config",
     "drain_failures",
     "peek_failures",
+    "session_counters",
+    "reset_session_counters",
     "shard_bounds",
     "build_shard_tasks",
     "run_grid",
@@ -266,6 +268,26 @@ class ScheduleReport:
 #: Failures accumulated across every sweep of this process; the report's
 #: failure appendix drains these.
 _SESSION_FAILURES: list[TaskFailure] = []
+
+#: Task counters accumulated across every sweep of this process.  The
+#: serving layer's warm-cache tests pin ``session_counters()["fresh"]``
+#: at zero to prove a request storm against a warm cache never
+#: simulates; ``/v1/stats`` republishes them.
+_SESSION_COUNTERS: dict[str, int] = {}
+
+
+def session_counters() -> dict[str, int]:
+    """Task counters summed over every ``run_grid`` call so far."""
+    return dict(_SESSION_COUNTERS)
+
+
+def reset_session_counters() -> None:
+    _SESSION_COUNTERS.clear()
+
+
+def _accumulate_session_counters(counters: dict[str, int]) -> None:
+    for name, value in counters.items():
+        _SESSION_COUNTERS[name] = _SESSION_COUNTERS.get(name, 0) + value
 
 
 def drain_failures() -> list[TaskFailure]:
@@ -795,6 +817,7 @@ def run_grid(
     report = ScheduleReport()
     if not tasks:
         report.counters = {"tasks": 0}
+        _accumulate_session_counters(report.counters)
         return report
 
     # Pre-generate every trace in the parent so forked workers share the
@@ -835,6 +858,7 @@ def run_grid(
         sweep.counters["tasks"] = len(tasks)
         sweep.log({"event": "summary", **sweep.counters})
         sweep.close()
+    _accumulate_session_counters(sweep.counters)
 
     report.shard_results = sweep.results
     report.failures = sweep.failures

@@ -257,10 +257,15 @@ class MetricsRegistry:
             for name, instrument in sorted(self._instruments.items())
         }
 
+    def to_json(self, indent: int | None = 2) -> str:
+        """The full snapshot as a JSON string (the service's ``/metrics``
+        endpoint serves this directly)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
     def dump(self, path: str) -> None:
         """Write the full snapshot as pretty-printed JSON."""
         with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write(self.to_json())
             handle.write("\n")
 
 
@@ -334,6 +339,9 @@ class NullRegistry:
 
     def to_dict(self) -> dict:
         return {}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return "{}"
 
     def dump(self, path: str) -> None:
         with open(path, "w") as handle:

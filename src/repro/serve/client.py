@@ -1,0 +1,166 @@
+"""Blocking HTTP client for the simulation service.
+
+``ServeClient`` is what ``repro submit`` and the end-to-end tests use:
+a thin stdlib :mod:`http.client` wrapper that speaks the service's
+JSON protocol and surfaces its structured errors as
+:class:`ServiceError` (status + machine-readable code + message +
+``Retry-After`` when the service is shedding load).
+
+Each call opens its own connection, so one client instance is safe to
+share across threads (the concurrency tests hammer a single client from
+a pool of threads).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.serve.protocol import canonical_json
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["ServeClient", "ServiceError", "SimulateResponse"]
+
+
+class ServiceError(RuntimeError):
+    """A structured (non-2xx) answer from the service."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class SimulateResponse:
+    """One successful simulation answer.
+
+    Attributes:
+        body: the exact response bytes -- the canonical JSON of
+            ``FrontendStats.to_dict()``, byte-identical to a direct
+            harness caller's serialisation (tests pin this).
+        result: the parsed body.
+        outcome: cache outcome (``memo`` / ``disk`` / ``fresh``).
+        batch_size: how many requests shared this request's micro-batch.
+    """
+
+    body: bytes
+    result: dict = field(default_factory=dict)
+    outcome: str = ""
+    batch_size: int = 1
+
+
+class ServeClient:
+    """Blocking client bound to one ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8337, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw transport -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            header_map = {name.lower(): value for name, value in response.getheaders()}
+            return response.status, header_map, payload
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _raise_for_error(status: int, headers: dict[str, str], payload: bytes) -> None:
+        if status < 400:
+            return
+        code, message = "unknown", payload.decode("utf-8", "replace")
+        try:
+            error = json.loads(payload)["error"]
+            code, message = error["code"], error["message"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        retry_after = None
+        if "retry-after" in headers:
+            try:
+                retry_after = float(headers["retry-after"])
+            except ValueError:
+                pass
+        raise ServiceError(status, code, message, retry_after=retry_after)
+
+    def _get_json(self, path: str) -> Any:
+        status, headers, payload = self._request("GET", path)
+        self._raise_for_error(status, headers, payload)
+        return json.loads(payload)
+
+    # -- the protocol --------------------------------------------------------
+
+    def simulate(
+        self,
+        design: str,
+        app: str | None = None,
+        spec: WorkloadSpec | None = None,
+        params: dict | None = None,
+        warmup: float | None = None,
+        scale: str | None = None,
+    ) -> SimulateResponse:
+        """Submit one simulation request and block for its answer.
+
+        Exactly one of ``app`` (a suite workload name) or ``spec`` (an
+        inline :class:`WorkloadSpec`) must be given, mirroring the wire
+        protocol.  Raises :class:`ServiceError` on any structured
+        rejection (400 validation, 429 queue-full, 503 draining).
+        """
+        request: dict[str, Any] = {"design": design}
+        if app is not None:
+            request["app"] = app
+        if spec is not None:
+            request["spec"] = asdict(spec)
+        if params is not None:
+            request["params"] = params
+        if warmup is not None:
+            request["warmup"] = warmup
+        if scale is not None:
+            request["scale"] = scale
+        status, headers, payload = self._request(
+            "POST", "/v1/simulate", canonical_json(request)
+        )
+        self._raise_for_error(status, headers, payload)
+        return SimulateResponse(
+            body=payload,
+            result=json.loads(payload),
+            outcome=headers.get("x-repro-outcome", ""),
+            batch_size=int(headers.get("x-repro-batch-size", "1")),
+        )
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        return self._get_json("/v1/stats")
+
+    def metrics(self) -> dict:
+        return self._get_json("/metrics")
+
+    def designs(self) -> list[str]:
+        return self._get_json("/v1/designs")
+
+    def apps(self, scale: str | None = None) -> list[str]:
+        path = "/v1/apps" + (f"?scale={scale}" if scale else "")
+        return self._get_json(path)

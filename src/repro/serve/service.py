@@ -1,0 +1,716 @@
+"""The asyncio simulation service: batching, backpressure, drain.
+
+Request lifecycle (``POST /v1/simulate``):
+
+1. **admission** -- a draining service answers 503; a service at its
+   ``queue_limit`` of queued-plus-running requests answers a structured
+   429 with ``Retry-After`` (load-shedding beats unbounded latency).
+2. **validation** -- the body parses into a
+   :class:`~repro.serve.protocol.SimJob` against the design registry
+   (structured 400 on any malformed field).
+3. **micro-batching** -- the job lands in the open batch for its
+   ``(trace, scale)`` group, or opens one that stays open for
+   ``batch_window`` seconds.  Requests that share a trace therefore
+   execute together: the decoded columns
+   (:meth:`~repro.workloads.trace.Trace.decoded`) are computed once per
+   batch, and identical jobs collapse to one simulation (single-flight).
+4. **execution** -- the batch runs on a worker thread: warm jobs answer
+   from the harness memo / disk cache, cold suite jobs bridge to the
+   shard scheduler (:func:`repro.experiments.scheduler.run_grid`), cold
+   inline-spec jobs simulate directly.
+5. **response** -- the body is the canonical JSON of
+   ``FrontendStats.to_dict()`` (byte-identical to a direct
+   :func:`repro.experiments.harness.run_one` caller's serialisation);
+   cache outcome and batch size ride in ``X-Repro-*`` headers.
+
+SIGTERM/SIGINT (or :meth:`SimulationService.request_shutdown`) starts a
+graceful drain: the listener closes, new requests on live connections
+get 503, and every in-flight request is answered before the service
+exits (bounded by ``drain_timeout``).
+
+Metrics (when a recording registry is active): ``serve_requests_total``
+by outcome, ``serve_request_seconds`` latency, ``serve_queue_depth``,
+``serve_batch_size``, ``serve_cache_outcome_total`` and
+``serve_trace_decodes_total``.  The same numbers are always available
+as plain counters on ``/v1/stats`` (the tests pin those).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.frontend.simulator import FrontendSimulator
+from repro.frontend.stats import FrontendStats
+from repro.obs.metrics import get_registry
+from repro.serve.config import ServeConfig, config_from_env
+from repro.serve.protocol import (
+    RequestError,
+    SimJob,
+    canonical_json,
+    parse_request,
+    stats_payload,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "BatchOutcome",
+    "ServiceHandle",
+    "SimulationService",
+    "clear_serve_caches",
+    "default_batch_runner",
+    "serve_in_thread",
+]
+
+
+# -- the default batch runner ------------------------------------------------
+#
+# Runs on a worker thread.  Tests inject replacement runners (slow ones
+# for the backpressure and drain tests), mirroring the scheduler's
+# fault-injection runners.
+
+
+@dataclass
+class BatchOutcome:
+    """What one executed batch produced.
+
+    Attributes:
+        results: per unique job, ``(stats, outcome)`` with outcome one
+            of ``"memo"`` / ``"disk"`` / ``"fresh"``.
+        decodes: fresh trace decodes this batch forced (0 when the
+            trace's decode was already cached, or every job was warm).
+    """
+
+    results: dict[SimJob, tuple[FrontendStats, str]] = field(default_factory=dict)
+    decodes: int = 0
+
+
+#: Serve-local caches for inline-spec (ad-hoc) jobs, which the harness
+#: memo (keyed by suite trace names) cannot hold.  Keyed by spec digest
+#: so same-named specs never alias.
+_ADHOC_TRACES: dict[str, Trace] = {}
+_ADHOC_MEMO: dict[tuple, FrontendStats] = {}
+_ADHOC_TRACE_CAP = 32
+
+
+def clear_serve_caches() -> None:
+    """Drop the ad-hoc trace/result caches (tests use this)."""
+    _ADHOC_TRACES.clear()
+    _ADHOC_MEMO.clear()
+
+
+def _adhoc_result_key(job: SimJob) -> str:
+    from repro.experiments import diskcache
+
+    return diskcache.result_key(
+        job.trace_name, job.scale, job.design_key, job.params,
+        job.warmup_fraction, spec=job.spec,
+    )
+
+
+def _lookup_adhoc(job: SimJob) -> tuple[FrontendStats | None, str]:
+    from repro.experiments import diskcache
+
+    key = (job.spec_digest, job.design_key, job.params, job.warmup_fraction)
+    stats = _ADHOC_MEMO.get(key)
+    if stats is not None:
+        return stats, "memo"
+    if diskcache.disk_cache_enabled():
+        stats = diskcache.load_result(_adhoc_result_key(job))
+        if stats is not None:
+            _ADHOC_MEMO[key] = stats
+            return stats, "disk"
+    return None, "miss"
+
+
+def _resolve_trace(job: SimJob) -> Trace:
+    if job.spec is None:
+        from repro.workloads.suite import get_trace
+
+        return get_trace(job.trace_name, job.scale)
+    trace = _ADHOC_TRACES.get(job.spec_digest)
+    if trace is None:
+        from repro.experiments import diskcache
+        from repro.workloads.generator import generate_trace
+
+        trace = diskcache.load_trace(job.spec)
+        if trace is None:
+            trace = generate_trace(job.spec)
+            diskcache.store_trace(job.spec, trace)
+        while len(_ADHOC_TRACES) >= _ADHOC_TRACE_CAP:
+            _ADHOC_TRACES.pop(next(iter(_ADHOC_TRACES)))
+        _ADHOC_TRACES[job.spec_digest] = trace
+    return trace
+
+
+def _run_suite_misses(
+    misses: list[SimJob],
+    registry: dict[str, Any],
+    results: dict[SimJob, tuple[FrontendStats, str]],
+) -> None:
+    """Bridge cold suite jobs to the shard scheduler, one grid per
+    (warmup, params) group (``run_grid`` keys everything by design key,
+    so per-design parameter variants must not share a grid)."""
+    from repro.experiments import harness, scheduler
+    from repro.workloads.suite import build_suite
+
+    lead = misses[0]
+    spec = next(
+        (s for s in build_suite(lead.scale) if s.name == lead.trace_name), None
+    )
+    groups: dict[tuple[float, Any], dict[str, SimJob]] = {}
+    for job in misses:
+        groups.setdefault((job.warmup_fraction, job.params), {})[job.design_key] = job
+    for (warmup, params), by_design in groups.items():
+        designs = [registry[name] for name in by_design]
+        report = scheduler.run_grid(
+            designs,
+            params_by_design={design.key: params for design in designs},
+            warmup_fraction=warmup,
+            scale=lead.scale,
+            specs=[spec] if spec is not None else None,
+        )
+        for name, job in by_design.items():
+            design = registry[name]
+            stats = report.merged.get((job.trace_name, design.key))
+            if stats is not None:
+                harness.adopt_result(
+                    job.trace_name, design, stats,
+                    params=params, warmup_fraction=warmup, scale=job.scale,
+                )
+            else:
+                # A shard exhausted its retries: degrade to an inline
+                # run (memoised + disk-cached by the harness itself).
+                stats = harness.run_one(
+                    job.trace_name, design,
+                    params=params, warmup_fraction=warmup, scale=job.scale,
+                )
+            results[job] = (stats, "fresh")
+
+
+def _simulate_adhoc(job: SimJob, trace: Trace, registry: dict[str, Any]) -> FrontendStats:
+    from repro.experiments import diskcache
+
+    design = registry[job.design_key]
+    btb, simulator_kwargs = design.build()
+    simulator = FrontendSimulator(btb, params=job.params, **simulator_kwargs)
+    stats = simulator.run(trace, warmup_fraction=job.warmup_fraction)
+    _ADHOC_MEMO[(job.spec_digest, job.design_key, job.params, job.warmup_fraction)] = stats
+    diskcache.store_result(_adhoc_result_key(job), stats)
+    return stats
+
+
+def default_batch_runner(jobs: list[SimJob]) -> BatchOutcome:
+    """Answer every unique job of one batch (all share a trace).
+
+    Warm jobs never touch the trace at all; the trace is resolved and
+    decoded (once) only when at least one job must actually simulate.
+    """
+    from repro.experiments import harness
+    from repro.experiments.designs import design_registry
+
+    registry = design_registry()
+    outcome = BatchOutcome()
+    misses: list[SimJob] = []
+    for job in jobs:
+        if job.spec is None:
+            stats, kind = harness.lookup_cached(
+                job.trace_name, registry[job.design_key],
+                params=job.params, warmup_fraction=job.warmup_fraction,
+                scale=job.scale,
+            )
+        else:
+            stats, kind = _lookup_adhoc(job)
+        if stats is None:
+            misses.append(job)
+        else:
+            outcome.results[job] = (stats, kind)
+    if not misses:
+        return outcome
+    trace = _resolve_trace(misses[0])
+    if not trace.is_decoded:
+        outcome.decodes = 1
+    trace.decoded()
+    suite_misses = [job for job in misses if job.spec is None]
+    if suite_misses:
+        _run_suite_misses(suite_misses, registry, outcome.results)
+    for job in misses:
+        if job.spec is not None:
+            outcome.results[job] = (_simulate_adhoc(job, trace, registry), "fresh")
+    return outcome
+
+
+# -- batching ---------------------------------------------------------------
+
+
+class _Batch:
+    """One open micro-batch: unique jobs -> the futures awaiting them."""
+
+    __slots__ = ("group_key", "jobs", "closed", "size")
+
+    def __init__(self, group_key: tuple[str, str]) -> None:
+        self.group_key = group_key
+        self.jobs: dict[SimJob, list[asyncio.Future]] = {}
+        self.closed = False
+        self.size = 0
+
+    def add(self, job: SimJob, future: asyncio.Future) -> None:
+        self.jobs.setdefault(job, []).append(future)
+        self.size += 1
+
+
+# -- the service ------------------------------------------------------------
+
+
+class SimulationService:
+    """Asyncio HTTP/JSON front door over the experiment stack.
+
+    Args:
+        config: service knobs (default: ``REPRO_SERVE_*`` environment).
+        runner: batch executor ``runner(jobs) -> BatchOutcome`` run on a
+            worker thread (default :func:`default_batch_runner`; tests
+            inject slow or counting runners, as the scheduler's fault
+            tests do).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        runner: Callable[[list[SimJob]], BatchOutcome] | None = None,
+    ) -> None:
+        self.config = config or config_from_env()
+        self._runner = runner or default_batch_runner
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._batches: dict[tuple[str, str], _Batch] = {}
+        self._inflight = 0
+        self._draining = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        from repro.experiments.designs import design_registry
+
+        self._design_keys = frozenset(design_registry())
+        #: Bound port once listening (== config.port unless that was 0).
+        self.port: int | None = None
+        self.counters: dict[str, Any] = {
+            "requests_total": 0,
+            "ok": 0,
+            "bad_requests": 0,
+            "rejected": 0,
+            "draining_rejected": 0,
+            "errors": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "max_batch_size": 0,
+            "trace_decodes": 0,
+            "fresh_jobs": 0,
+            "outcomes": {"memo": 0, "disk": 0, "fresh": 0},
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve_forever(self, _on_ready: Callable[[], None] | None = None) -> None:
+        """Listen, serve until a shutdown is requested, then drain."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        installed_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._shutdown_event.set)
+                installed_signals.append(signum)
+            except (RuntimeError, NotImplementedError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            if _on_ready is not None:
+                _on_ready()
+            await self._shutdown_event.wait()
+            # Graceful drain: stop accepting, let in-flight work finish.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            deadline = self._loop.time() + self.config.drain_timeout
+            while self._inflight > 0 and self._loop.time() < deadline:
+                await asyncio.sleep(0.01)
+        finally:
+            for signum in installed_signals:
+                self._loop.remove_signal_handler(signum)
+            server.close()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (thread-safe; signals route here too)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- admission + batching ------------------------------------------------
+
+    async def _submit(self, job: SimJob) -> tuple[FrontendStats, str, int]:
+        loop = asyncio.get_running_loop()
+        batch = self._batches.get(job.group_key)
+        if batch is None or batch.closed:
+            batch = _Batch(job.group_key)
+            self._batches[job.group_key] = batch
+            asyncio.ensure_future(self._flush_batch(batch))
+        future: asyncio.Future = loop.create_future()
+        batch.add(job, future)
+        return await future
+
+    async def _flush_batch(self, batch: _Batch) -> None:
+        try:
+            if self.config.batch_window > 0:
+                await asyncio.sleep(self.config.batch_window)
+        finally:
+            batch.closed = True
+            if self._batches.get(batch.group_key) is batch:
+                del self._batches[batch.group_key]
+        registry = get_registry()
+        self.counters["batches"] += 1
+        self.counters["batched_requests"] += batch.size
+        if batch.size > self.counters["max_batch_size"]:
+            self.counters["max_batch_size"] = batch.size
+        registry.histogram(
+            "serve_batch_size", "simulate requests per executed micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(batch.size)
+        jobs = list(batch.jobs)
+        try:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._runner, jobs
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced as per-request 500s
+            for futures in batch.jobs.values():
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        self.counters["trace_decodes"] += outcome.decodes
+        if outcome.decodes:
+            registry.counter(
+                "serve_trace_decodes_total", "fresh trace decodes forced by batches"
+            ).inc(outcome.decodes)
+        for job, futures in batch.jobs.items():
+            result = outcome.results.get(job)
+            if result is None:
+                error = RuntimeError(f"runner returned no result for {job.trace_name}")
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            stats, kind = result
+            if kind == "fresh":
+                self.counters["fresh_jobs"] += 1
+            self.counters["outcomes"][kind] = (
+                self.counters["outcomes"].get(kind, 0) + len(futures)
+            )
+            registry.counter(
+                "serve_cache_outcome_total", "simulate requests by cache outcome"
+            ).inc(len(futures), outcome=kind)
+            for future in futures:
+                if not future.done():
+                    future.set_result((stats, kind, batch.size))
+
+    # -- request handlers ----------------------------------------------------
+
+    async def _simulate(self, body: bytes) -> tuple[int, bytes, dict[str, str]]:
+        registry = get_registry()
+        self.counters["requests_total"] += 1
+        if self._draining:
+            self.counters["draining_rejected"] += 1
+            registry.counter(
+                "serve_requests_total", "simulate requests by outcome"
+            ).inc(outcome="draining")
+            return _error(HTTPStatus.SERVICE_UNAVAILABLE, "draining",
+                          "service is draining for shutdown")
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            self.counters["bad_requests"] += 1
+            registry.counter(
+                "serve_requests_total", "simulate requests by outcome"
+            ).inc(outcome="bad-request")
+            return _error(HTTPStatus.BAD_REQUEST, "bad-json",
+                          "request body is not valid JSON")
+        try:
+            job = parse_request(
+                payload,
+                self._design_keys,
+                default_scale=self.config.default_scale,
+                max_events=self.config.max_events,
+            )
+        except RequestError as error:
+            self.counters["bad_requests"] += 1
+            registry.counter(
+                "serve_requests_total", "simulate requests by outcome"
+            ).inc(outcome="bad-request")
+            return _error(HTTPStatus.BAD_REQUEST, error.code, error.message)
+        if self._inflight >= self.config.queue_limit:
+            self.counters["rejected"] += 1
+            registry.counter(
+                "serve_requests_total", "simulate requests by outcome"
+            ).inc(outcome="rejected")
+            retry_after = max(1, round(self.config.retry_after))
+            status, body_bytes, headers = _error(
+                HTTPStatus.TOO_MANY_REQUESTS, "queue-full",
+                f"admission queue is full ({self.config.queue_limit} in flight); "
+                f"retry after {retry_after}s",
+            )
+            headers["Retry-After"] = str(retry_after)
+            return status, body_bytes, headers
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._inflight += 1
+        registry.gauge(
+            "serve_queue_depth", "simulate requests queued or running"
+        ).set(self._inflight)
+        try:
+            stats, kind, batch_size = await self._submit(job)
+        except Exception as exc:  # noqa: BLE001 - reported as a structured 500
+            self.counters["errors"] += 1
+            registry.counter(
+                "serve_requests_total", "simulate requests by outcome"
+            ).inc(outcome="error")
+            return _error(HTTPStatus.INTERNAL_SERVER_ERROR, "internal",
+                          f"{type(exc).__name__}: {exc}")
+        finally:
+            self._inflight -= 1
+            registry.gauge(
+                "serve_queue_depth", "simulate requests queued or running"
+            ).set(self._inflight)
+            registry.histogram(
+                "serve_request_seconds", "simulate request latency"
+            ).observe(loop.time() - started, design=job.design_key)
+        self.counters["ok"] += 1
+        registry.counter(
+            "serve_requests_total", "simulate requests by outcome"
+        ).inc(outcome="ok")
+        return (
+            HTTPStatus.OK,
+            stats_payload(stats),
+            {
+                "X-Repro-Outcome": kind,
+                "X-Repro-Batch-Size": str(batch_size),
+                "X-Repro-App": job.trace_name,
+                "X-Repro-Design": job.design_key,
+            },
+        )
+
+    def stats_snapshot(self) -> dict:
+        """Everything ``/v1/stats`` serves (plain counters, no registry)."""
+        from repro.experiments import diskcache, harness, scheduler
+
+        service = {
+            key: (dict(value) if isinstance(value, dict) else value)
+            for key, value in self.counters.items()
+        }
+        service["queue_depth"] = self._inflight
+        service["queue_limit"] = self.config.queue_limit
+        service["draining"] = self._draining
+        return {
+            "service": service,
+            "scheduler": scheduler.session_counters(),
+            "harness_cache": harness.cache_info(),
+            "disk_cache": diskcache.disk_cache_info(),
+        }
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, bytes, dict[str, str]]:
+        parts = urlsplit(target)
+        path = parts.path
+        if path == "/v1/simulate":
+            if method != "POST":
+                return _error(HTTPStatus.METHOD_NOT_ALLOWED, "bad-method",
+                              "simulate requires POST")
+            return await self._simulate(body)
+        if method != "GET":
+            return _error(HTTPStatus.METHOD_NOT_ALLOWED, "bad-method",
+                          f"{path} requires GET")
+        if path == "/healthz":
+            status = "draining" if self._draining else "ok"
+            return HTTPStatus.OK, canonical_json(
+                {"status": status, "inflight": self._inflight}
+            ), {}
+        if path == "/metrics":
+            return HTTPStatus.OK, get_registry().to_json().encode(), {}
+        if path == "/v1/stats":
+            return HTTPStatus.OK, canonical_json(self.stats_snapshot()), {}
+        if path == "/v1/designs":
+            return HTTPStatus.OK, canonical_json(sorted(self._design_keys)), {}
+        if path == "/v1/apps":
+            from repro.workloads.suite import SCALES, build_suite, current_scale
+
+            query = parse_qs(parts.query)
+            scale = query.get("scale", [None])[0] or self.config.default_scale
+            scale = scale or current_scale()
+            if scale not in SCALES:
+                return _error(HTTPStatus.BAD_REQUEST, "unknown-scale",
+                              f"scale must be one of {sorted(SCALES)}")
+            return HTTPStatus.OK, canonical_json(
+                [spec.name for spec in build_suite(scale)]
+            ), {}
+        return _error(HTTPStatus.NOT_FOUND, "not-found", f"no route for {path}")
+
+    # -- the HTTP layer ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, keep_alive, body, parse_error = request
+                if parse_error is not None:
+                    status, payload, headers = parse_error
+                    keep_alive = False
+                else:
+                    status, payload, headers = await self._dispatch(
+                        method, target, body
+                    )
+                keep_alive = keep_alive and not self._draining
+                writer.write(_encode_response(status, payload, headers, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # event-loop teardown after the drain completed
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP/1.1 request.  Returns ``None`` on clean EOF, or
+        ``(method, target, keep_alive, body, error)`` where a non-None
+        ``error`` is a ready-to-send response triple."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, version = line.decode("latin-1").split()
+        except ValueError:
+            return "", "", False, b"", _error(
+                HTTPStatus.BAD_REQUEST, "bad-request", "malformed request line"
+            )
+        headers: dict[str, str] = {}
+        while True:
+            header_line = await reader.readline()
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header_line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 100:
+                return method, target, False, b"", _error(
+                    HTTPStatus.BAD_REQUEST, "bad-request", "too many headers"
+                )
+        keep_alive = (
+            version == "HTTP/1.1"
+            and headers.get("connection", "").lower() != "close"
+        )
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return method, target, False, b"", _error(
+                HTTPStatus.BAD_REQUEST, "bad-request",
+                f"bad Content-Length {raw_length!r}",
+            )
+        if length < 0 or length > self.config.max_body_bytes:
+            return method, target, False, b"", _error(
+                HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "too-large",
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, keep_alive, body, None
+
+
+def _error(
+    status: HTTPStatus, code: str, message: str
+) -> tuple[int, bytes, dict[str, str]]:
+    body = canonical_json({"ok": False, "error": {"code": code, "message": message}})
+    return int(status), body, {}
+
+
+def _encode_response(
+    status: int, body: bytes, headers: dict[str, str], keep_alive: bool
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# -- in-process hosting (tests, notebooks) -----------------------------------
+
+
+@dataclass
+class ServiceHandle:
+    """A service running on a background thread (its own event loop)."""
+
+    service: SimulationService
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    def shutdown(self, timeout: float = 15.0) -> None:
+        """Graceful drain, then join the hosting thread."""
+        self.service.request_shutdown()
+        self.thread.join(timeout)
+
+
+def serve_in_thread(
+    config: ServeConfig | None = None,
+    runner: Callable[[list[SimJob]], BatchOutcome] | None = None,
+) -> ServiceHandle:
+    """Boot a service on a daemon thread and wait until it listens.
+
+    The end-to-end tests use this (with ``port=0`` for an ephemeral
+    port); production deployments run ``python -m repro serve`` instead.
+    """
+    service = SimulationService(config=config, runner=runner)
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        try:
+            asyncio.run(service.serve_forever(_on_ready=ready.set))
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            failure.append(exc)
+            ready.set()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=15.0):
+        raise RuntimeError("service did not start listening within 15s")
+    if failure:
+        raise RuntimeError(f"service failed to start: {failure[0]}") from failure[0]
+    return ServiceHandle(service=service, thread=thread)

@@ -119,6 +119,16 @@ class Trace:
         self._columns = columns
         return columns
 
+    @property
+    def is_decoded(self) -> bool:
+        """Whether :meth:`decoded` would return a cached decode.
+
+        The serving layer's micro-batcher uses this to account decodes
+        (one per batch of requests sharing a trace) without forcing one.
+        """
+        cached = getattr(self, "_decoded", None)
+        return cached is not None and cached.n_events == len(self.pcs)
+
     def decoded(self) -> "DecodedTrace":
         """The one-time :class:`DecodedTrace` for this trace, cached.
 

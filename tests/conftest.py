@@ -15,16 +15,39 @@ from repro.branch.types import BranchEvent, BranchKind
 from repro.workloads.trace import Trace
 
 
-@pytest.fixture(autouse=True)
-def _isolated_disk_cache_dir(tmp_path, monkeypatch):
-    """Point the disk-cache root at a per-test tmpdir, unconditionally.
+#: Environment prefixes that change simulation scheduling, caching, or
+#: serving behaviour.  Any of these leaking in from the developer's (or
+#: CI job's) shell would make a test depend on ambient state.
+_HERMETIC_PREFIXES = ("REPRO_SCHED_", "REPRO_DISK_CACHE", "REPRO_SERVE_")
 
-    Even with ``REPRO_DISK_CACHE=0`` above, tests that opt back into the
-    cache (or scheduler tests that resume from it) must never read or
-    pollute a developer's real ``~/.cache/repro-pdede``.  Tests that
-    manage their own root simply ``monkeypatch.setenv`` over this.
+
+@pytest.fixture(autouse=True)
+def _hermetic_env(tmp_path, monkeypatch):
+    """Make every test hermetic against ambient ``REPRO_*`` knobs.
+
+    Clears ``REPRO_SCHED_*``, ``REPRO_DISK_CACHE*`` and ``REPRO_SERVE_*``
+    before each test, then re-pins the disk cache off (the env default
+    is *on*) and roots it at a per-test tmpdir so tests that opt back in
+    (or scheduler tests that resume from it) never read or pollute a
+    developer's real ``~/.cache/repro-pdede``.  Tests that manage their
+    own knobs simply ``monkeypatch.setenv`` over this.
+
+    CI jobs that intentionally run the suite under ambient knobs (the
+    parallel-suite job exports ``REPRO_SCHED_WORKERS``/``_SHARDS``) list
+    them in ``REPRO_TEST_KEEP_ENV`` (comma-separated) to exempt them.
     """
-    monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path / "disk-cache"))
+    keep = {
+        name.strip()
+        for name in os.environ.get("REPRO_TEST_KEEP_ENV", "").split(",")
+        if name.strip()
+    }
+    for name in list(os.environ):
+        if name.startswith(_HERMETIC_PREFIXES) and name not in keep:
+            monkeypatch.delenv(name)
+    if "REPRO_DISK_CACHE" not in keep:
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    if "REPRO_DISK_CACHE_DIR" not in keep:
+        monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path / "disk-cache"))
 
 
 def make_event(
