@@ -234,6 +234,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "workers": args.serve_workers,
             "drain_timeout": args.drain_timeout,
             "default_scale": args.scale,
+            "trace_buffer": args.trace_buffer,
+            "events_path": args.events_out,
         }.items()
         if value is not None
     }
@@ -278,6 +280,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
     sys.stdout.buffer.write(b"\n")
     print(f"submit: outcome={response.outcome} "
           f"batch-size={response.batch_size}", file=sys.stderr)
+    if args.timing:
+        timing = response.timing
+        hops = " ".join(
+            f"{hop}={timing[hop] * 1000:.3f}ms"
+            for hop in ("batch_wait", "queue", "simulate")
+            if hop in timing
+        )
+        total = sum(timing.values())
+        rid = response.request_id or "?"
+        print(f"submit: timing rid={rid} {hops} "
+              f"server-total={total * 1000:.3f}ms", file=sys.stderr)
     return 0
 
 
@@ -479,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=None, metavar="SECONDS",
                        help="max wait for in-flight requests on shutdown "
                             "(default: REPRO_SERVE_DRAIN_TIMEOUT or 30)")
+    serve.add_argument("--trace-buffer", type=int, default=None, metavar="N",
+                       help="request-event ring capacity, 0 disables tracing "
+                            "(default: REPRO_SERVE_TRACE_BUFFER or 4096)")
+    serve.add_argument("--events-out", default=None, metavar="FILE",
+                       help="also append every request event to FILE as JSONL "
+                            "(default: REPRO_SERVE_EVENTS or unset)")
     # --metrics-out enables the recording registry, so /metrics serves a
     # live snapshot and the file is written after the drain completes.
     _add_obs_flags(serve)
@@ -496,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--params", default=None, metavar="JSON",
                         help='CoreParams overrides, e.g. \'{"fetch_width": 8}\'')
     submit.add_argument("--timeout", type=float, default=60.0)
+    submit.add_argument("--timing", action="store_true",
+                        help="print the server-reported per-hop breakdown "
+                             "(batch-wait/queue/simulate) to stderr")
 
     return parser
 

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.frontend.params import CoreParams
 from repro.frontend.stats import FrontendStats
+from repro.obs import events as obs_events
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trace import Trace
 
@@ -365,6 +366,7 @@ def load_result(key: str) -> FrontendStats | None:
     path = _result_path(key)
     if not path.exists():
         _TELEMETRY["result_misses"] += 1
+        obs_events.emit("disk-result", key=key, hit=False)
         return None
     try:
         payload = json.loads(path.read_text())
@@ -374,8 +376,10 @@ def load_result(key: str) -> FrontendStats | None:
     except Exception:
         _quarantine(path)
         _TELEMETRY["result_misses"] += 1
+        obs_events.emit("disk-result", key=key, hit=False)
         return None
     _TELEMETRY["result_hits"] += 1
+    obs_events.emit("disk-result", key=key, hit=True)
     return stats
 
 

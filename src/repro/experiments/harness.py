@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.frontend.params import CoreParams, ICELAKE
 from repro.frontend.simulator import FrontendSimulator
 from repro.frontend.stats import FrontendStats
+from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
@@ -133,6 +134,10 @@ def run_design(
     registry.histogram(
         "harness_simulation_seconds", "wall seconds per fresh simulation"
     ).observe(elapsed, design=design.key, scale=scale)
+    obs_events.emit(
+        "harness-run", app=trace_name, design=design.key, scale=scale,
+        seconds=round(elapsed, 6),
+    )
     if use_cache:
         _RESULT_CACHE[key] = stats
         if disk_key is not None:
@@ -183,6 +188,10 @@ def lookup_cached(
     key = (trace_name, scale, design.key, params, warmup_fraction)
     cached = _RESULT_CACHE.get(key)
     if cached is not None:
+        obs_events.emit(
+            "cache-lookup", layer="memo", app=trace_name,
+            design=design.key, hit=True,
+        )
         return cached, "memo"
     if diskcache.disk_cache_enabled():
         disk_key = diskcache.result_key(
@@ -192,7 +201,15 @@ def lookup_cached(
         stats = diskcache.load_result(disk_key)
         if stats is not None:
             _RESULT_CACHE[key] = stats
+            obs_events.emit(
+                "cache-lookup", layer="disk", app=trace_name,
+                design=design.key, hit=True,
+            )
             return stats, "disk"
+    obs_events.emit(
+        "cache-lookup", layer="all", app=trace_name,
+        design=design.key, hit=False,
+    )
     return None, "miss"
 
 

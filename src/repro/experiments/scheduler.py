@@ -60,6 +60,7 @@ from repro.experiments.designs import Design
 from repro.frontend.params import CoreParams, ICELAKE
 from repro.frontend.simulator import FrontendSimulator
 from repro.frontend.stats import FrontendStats
+from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
@@ -859,6 +860,15 @@ def run_grid(
         sweep.log({"event": "summary", **sweep.counters})
         sweep.close()
     _accumulate_session_counters(sweep.counters)
+    obs_events.emit(
+        "scheduler-grid",
+        tasks=len(tasks),
+        resumed=len(preloaded),
+        workers=config.workers if use_fork else 1,
+        shards=config.shards,
+        scale=scale,
+        failures=len(sweep.failures),
+    )
 
     report.shard_results = sweep.results
     report.failures = sweep.failures

@@ -1,20 +1,36 @@
-"""Observability layer: metrics registry + structured event tracing.
+"""Observability layer: metrics, span tracing, and request events.
 
 A dependency-free instrumentation substrate for the simulator stack:
 
 * :mod:`repro.obs.metrics` -- counters / gauges / histograms with
-  labels, published by the frontend simulator, the BTB designs, the
-  ICache, the RAS, and the experiment harness;
+  labels (and bucket-interpolated percentiles), published by the
+  frontend simulator, the BTB designs, the ICache, the RAS, and the
+  experiment harness;
 * :mod:`repro.obs.tracing` -- nested wall-clock spans (optionally with
   ``tracemalloc`` peaks) around trace generation, simulation, and the
-  report sections, with a JSONL sink and a human tree renderer.
+  report sections, with a JSONL sink and a human tree renderer;
+* :mod:`repro.obs.events` -- flat per-request event log (bounded ring
+  + JSONL sink) keyed by correlation id, driving `/debug/trace` and
+  the serve telemetry report (:mod:`repro.obs.aggregate`).
 
-Both default to shared null objects, so instrumented code pays ~nothing
-until ``python -m repro ... --metrics-out/--trace-out/--progress`` (or a
-test) enables them.  See README "Observability" for the metric naming
-scheme and example output.
+All three default to shared null objects, so instrumented code pays
+~nothing until ``python -m repro ... --metrics-out/--trace-out/
+--progress`` / ``repro serve`` (or a test) enables them.  See README
+"Observability" for the metric naming scheme and example output.
 """
 
+from repro.obs.events import (
+    EventLog,
+    NullEventLog,
+    bind_rids,
+    current_rids,
+    disable_events,
+    enable_events,
+    events_enabled,
+    get_event_log,
+    new_request_id,
+    use_event_log,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,6 +56,16 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "EventLog",
+    "NullEventLog",
+    "bind_rids",
+    "current_rids",
+    "disable_events",
+    "enable_events",
+    "events_enabled",
+    "get_event_log",
+    "new_request_id",
+    "use_event_log",
     "Counter",
     "Gauge",
     "Histogram",

@@ -40,6 +40,7 @@ __all__ = [
     "disable_metrics",
     "metrics_enabled",
     "use_registry",
+    "percentile_from_buckets",
 ]
 
 #: Default histogram buckets -- tuned for wall-clock seconds, the layer's
@@ -47,6 +48,64 @@ __all__ = [
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
 )
+
+#: Serve-tuned buckets: warm `/v1/simulate` hits complete in hundreds of
+#: microseconds to a few milliseconds, which the default set lumps into
+#: one or two buckets -- percentile interpolation needs the sub-ms
+#: resolution below to say anything useful about serving latency.
+SERVE_BUCKETS: tuple[float, ...] = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: The percentiles snapshots carry by default.
+DEFAULT_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def percentile_from_buckets(
+    buckets: tuple[float, ...] | list[float],
+    bucket_counts: list[int],
+    q: float,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Prometheus-style bucket-interpolated percentile estimate.
+
+    ``bucket_counts`` are per-bucket (not cumulative) with the overflow
+    bucket last, as stored in histogram series state -- which means this
+    works on serialised snapshots too (:mod:`repro.obs.aggregate` merges
+    series by summing these lists).  The estimate assumes observations
+    are uniform within their bucket: the target rank is located in its
+    bucket and linearly interpolated between the bucket's bounds (lower
+    bound 0 for the first bucket).  Ranks landing in the unbounded
+    overflow bucket return ``maximum`` (or the last finite bound).  The
+    result is clamped to the observed ``[minimum, maximum]`` when known,
+    so tiny samples don't report impossible values.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    rank = q / 100.0 * total
+    cumulative = 0
+    estimate: float | None = None
+    for index, bound in enumerate(buckets):
+        in_bucket = bucket_counts[index]
+        if cumulative + in_bucket >= rank and in_bucket > 0:
+            lower = buckets[index - 1] if index else 0.0
+            fraction = (rank - cumulative) / in_bucket
+            estimate = lower + (bound - lower) * fraction
+            break
+        cumulative += in_bucket
+    if estimate is None:
+        # Rank lands in the overflow bucket: no finite upper bound.
+        estimate = maximum if maximum is not None else float(buckets[-1])
+    if minimum is not None and estimate < minimum:
+        estimate = minimum
+    if maximum is not None and estimate > maximum:
+        estimate = maximum
+    return estimate
 
 
 def _series_key(labels: dict) -> tuple:
@@ -178,11 +237,57 @@ class Histogram(_Instrument):
             return 0.0
         return state["sum"] / state["count"]
 
+    def percentile(self, q: float, **labels) -> float:
+        """Bucket-interpolated percentile estimate for one label set.
+
+        With no labels given and several series recorded, the series'
+        bucket counts are merged first, so ``percentile(99)`` on a
+        labelled histogram is the cross-series p99.
+        """
+        state = self._series.get(_series_key(labels))
+        if state is None:
+            if labels or not self._series:
+                return 0.0
+            state = self._merged_state()
+        return percentile_from_buckets(
+            self.buckets, state["bucket_counts"], q,
+            minimum=state["min"], maximum=state["max"],
+        )
+
+    def percentiles(
+        self, qs: tuple[float, ...] = DEFAULT_PERCENTILES, **labels
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for one label set."""
+        return {f"p{q:g}": self.percentile(q, **labels) for q in qs}
+
+    def _merged_state(self) -> dict:
+        """All series folded into one (bucket-count sum, min/max hull)."""
+        states = list(self._series.values())
+        merged = {
+            "count": sum(s["count"] for s in states),
+            "sum": sum(s["sum"] for s in states),
+            "min": min(s["min"] for s in states),
+            "max": max(s["max"] for s in states),
+            "bucket_counts": [
+                sum(counts) for counts in zip(*(s["bucket_counts"] for s in states))
+            ],
+        }
+        return merged
+
     def _series_dicts(self) -> list[dict]:
         out = []
         for key, state in sorted(self._series.items()):
             entry = {"labels": dict(key)}
             entry.update(state)
+            entry.update(
+                {
+                    f"p{q:g}": percentile_from_buckets(
+                        self.buckets, state["bucket_counts"], q,
+                        minimum=state["min"], maximum=state["max"],
+                    )
+                    for q in DEFAULT_PERCENTILES
+                }
+            )
             out.append(entry)
         return out
 
@@ -190,6 +295,32 @@ class Histogram(_Instrument):
         data = super().to_dict()
         data["buckets"] = list(self.buckets)
         return data
+
+
+def _prom_number(value) -> str:
+    """Prometheus sample-value formatting: integral floats as ints."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _prom_escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_escape_label(text: str) -> str:
+    return (
+        str(text).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape_label(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
 
 
 class MetricsRegistry:
@@ -226,7 +357,20 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
         factory = lambda: Histogram(name, help, buckets)  # noqa: E731
         factory.cls = Histogram
-        return self._get(name, factory, help)
+        instrument = self._get(name, factory, help)
+        if buckets is not None:
+            requested = tuple(sorted(buckets))
+            if requested != instrument.buckets:
+                # Re-bucketing is only safe before any observation: the
+                # per-bucket counts can't be redistributed after the fact.
+                if instrument._series:
+                    raise ValueError(
+                        f"histogram {name!r} already has observations under "
+                        f"buckets {instrument.buckets}; cannot re-bucket to "
+                        f"{requested}"
+                    )
+                instrument.buckets = requested
+        return instrument
 
     # -- bulk publishing ----------------------------------------------------
 
@@ -261,6 +405,46 @@ class MetricsRegistry:
         """The full snapshot as a JSON string (the service's ``/metrics``
         endpoint serves this directly)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """The snapshot in Prometheus text exposition format (v0.0.4).
+
+        Served by ``/metrics`` when the client asks for ``text/plain``;
+        counters/gauges map directly, histograms expand to cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+        """
+        lines: list[str] = []
+        for name, instrument in sorted(self._instruments.items()):
+            if instrument.help:
+                lines.append(f"# HELP {name} {_prom_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for key, state in sorted(instrument._series.items()):
+                    labels = dict(key)
+                    cumulative = 0
+                    for index, bound in enumerate(instrument.buckets):
+                        cumulative += state["bucket_counts"][index]
+                        bucket_labels = dict(labels, le=_prom_number(bound))
+                        lines.append(
+                            f"{name}_bucket{_prom_labels(bucket_labels)} {cumulative}"
+                        )
+                    cumulative += state["bucket_counts"][-1]
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(dict(labels, le='+Inf'))} "
+                        f"{cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_prom_labels(labels)} {_prom_number(state['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prom_labels(labels)} {state['count']}"
+                    )
+            else:
+                for key, value in sorted(instrument._series.items()):
+                    lines.append(
+                        f"{name}{_prom_labels(dict(key))} {_prom_number(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def dump(self, path: str) -> None:
         """Write the full snapshot as pretty-printed JSON."""
@@ -304,6 +488,12 @@ class _NullInstrument:
     def mean(self, **labels) -> float:
         return 0.0
 
+    def percentile(self, q: float, **labels) -> float:
+        return 0.0
+
+    def percentiles(self, qs=DEFAULT_PERCENTILES, **labels) -> dict:
+        return {}
+
     def labelsets(self) -> list:
         return []
 
@@ -342,6 +532,9 @@ class NullRegistry:
 
     def to_json(self, indent: int | None = 2) -> str:
         return "{}"
+
+    def to_prometheus_text(self) -> str:
+        return ""
 
     def dump(self, path: str) -> None:
         with open(path, "w") as handle:

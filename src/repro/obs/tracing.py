@@ -10,13 +10,28 @@ Like :mod:`repro.obs.metrics`, the module-level default tracer is a
 shared null object: ``get_tracer().span(...)`` is a no-op context
 manager until tracing is enabled, so call sites are unconditional and
 the disabled cost is one dict lookup plus an empty ``with``.
+
+The open-span stack lives in a :class:`contextvars.ContextVar`, so
+concurrent asyncio tasks (and threads) each see their own stack:
+interleaved tasks record correct parent ids instead of adopting
+whichever span another task happened to open last.  Tasks inherit the
+stack of the context that spawned them (their spans nest under the
+spawner's open span); spans opened on a fresh thread become roots.
+Tree mutation (id allocation, root/child appends) is serialised by one
+lock, so the JSONL sink stays well-formed under concurrency.
 """
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import json
+import threading
 import time
 from contextlib import contextmanager
+
+#: Distinct debug names for each Tracer's stack contextvar.
+_TRACER_SEQ = itertools.count(1)
 
 __all__ = [
     "Span",
@@ -92,7 +107,14 @@ class Tracer:
     def __init__(self, trace_memory: bool = False) -> None:
         self.trace_memory = trace_memory
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        # Per-context open-span stack: asyncio tasks and threads each
+        # get their own, so concurrent spans keep correct parentage.
+        self._stack_var: contextvars.ContextVar[tuple[Span, ...]] = (
+            contextvars.ContextVar(
+                f"repro_tracer_stack_{next(_TRACER_SEQ)}", default=()
+            )
+        )
+        self._lock = threading.Lock()
         self._next_id = 1
         self._epoch = time.perf_counter()
         #: Optional callback fired with each span as it closes (the CLI
@@ -108,23 +130,31 @@ class Tracer:
 
     # -- recording ----------------------------------------------------------
 
+    def _open_span(self, name: str, attrs: dict, stack: tuple[Span, ...]) -> Span:
+        """Allocate a span under the given stack's tip (tree mutation is
+        locked; concurrent tasks/threads append to the same parent)."""
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span = Span(
+                span_id=self._next_id,
+                parent_id=parent.span_id if parent else None,
+                depth=len(stack),
+                name=name,
+                attrs=attrs,
+                start_s=time.perf_counter() - self._epoch,
+            )
+            self._next_id += 1
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+        return span
+
     @contextmanager
     def span(self, name: str, **attrs):
-        parent = self._stack[-1] if self._stack else None
-        span = Span(
-            span_id=self._next_id,
-            parent_id=parent.span_id if parent else None,
-            depth=len(self._stack),
-            name=name,
-            attrs=attrs,
-            start_s=time.perf_counter() - self._epoch,
-        )
-        self._next_id += 1
-        if parent is not None:
-            parent.children.append(span)
-        else:
-            self.roots.append(span)
-        self._stack.append(span)
+        stack = self._stack_var.get()
+        span = self._open_span(name, attrs, stack)
+        token = self._stack_var.set(stack + (span,))
         if self.trace_memory:
             import tracemalloc
 
@@ -139,30 +169,17 @@ class Tracer:
 
                 _, peak = tracemalloc.get_traced_memory()
                 span.memory_peak_kib = peak / 1024.0
-            self._stack.pop()
+            self._stack_var.reset(token)
             if self.on_close is not None:
                 self.on_close(span)
 
     def event(self, name: str, **attrs) -> Span:
         """Record an instantaneous (zero-duration) span."""
-        parent = self._stack[-1] if self._stack else None
-        span = Span(
-            span_id=self._next_id,
-            parent_id=parent.span_id if parent else None,
-            depth=len(self._stack),
-            name=name,
-            attrs=attrs,
-            start_s=time.perf_counter() - self._epoch,
-        )
-        self._next_id += 1
-        if parent is not None:
-            parent.children.append(span)
-        else:
-            self.roots.append(span)
-        return span
+        return self._open_span(name, attrs, self._stack_var.get())
 
     def current(self) -> Span | None:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
 
     # -- serialisation ------------------------------------------------------
 

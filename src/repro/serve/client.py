@@ -52,12 +52,20 @@ class SimulateResponse:
         result: the parsed body.
         outcome: cache outcome (``memo`` / ``disk`` / ``fresh``).
         batch_size: how many requests shared this request's micro-batch.
+        request_id: the server-assigned correlation id
+            (``X-Repro-Request-Id``) -- feed it to :meth:`ServeClient.
+            debug_trace` to reconstruct the request's hop sequence.
+        timing: server-reported per-hop latency decomposition in seconds
+            (``batch_wait`` / ``queue`` / ``simulate``) from the
+            ``X-Repro-*-Seconds`` headers.
     """
 
     body: bytes
     result: dict = field(default_factory=dict)
     outcome: str = ""
     batch_size: int = 1
+    request_id: str = ""
+    timing: dict = field(default_factory=dict)
 
 
 class ServeClient:
@@ -71,13 +79,19 @@ class ServeClient:
     # -- raw transport -------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             headers = {"Content-Type": "application/json"} if body else {}
+            if extra_headers:
+                headers.update(extra_headers)
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             payload = response.read()
@@ -142,11 +156,24 @@ class ServeClient:
             "POST", "/v1/simulate", canonical_json(request)
         )
         self._raise_for_error(status, headers, payload)
+        timing = {}
+        for hop, header in (
+            ("batch_wait", "x-repro-batch-wait-seconds"),
+            ("queue", "x-repro-queue-seconds"),
+            ("simulate", "x-repro-simulate-seconds"),
+        ):
+            if header in headers:
+                try:
+                    timing[hop] = float(headers[header])
+                except ValueError:
+                    pass
         return SimulateResponse(
             body=payload,
             result=json.loads(payload),
             outcome=headers.get("x-repro-outcome", ""),
             batch_size=int(headers.get("x-repro-batch-size", "1")),
+            request_id=headers.get("x-repro-request-id", ""),
+            timing=timing,
         )
 
     def health(self) -> dict:
@@ -157,6 +184,36 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._get_json("/metrics")
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` snapshot in Prometheus text exposition
+        format (the server switches on ``Accept: text/plain``)."""
+        status, headers, payload = self._request(
+            "GET", "/metrics", extra_headers={"Accept": "text/plain"}
+        )
+        self._raise_for_error(status, headers, payload)
+        return payload.decode()
+
+    def debug_trace(
+        self,
+        rid: str | None = None,
+        limit: int | None = None,
+        event: str | None = None,
+    ) -> dict:
+        """The service's recent request-event ring (``/debug/trace``).
+
+        With ``rid``, only that request's hop records; otherwise the
+        recent window, optionally filtered by event name / capped.
+        """
+        params = []
+        if rid is not None:
+            params.append(f"rid={rid}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if event is not None:
+            params.append(f"event={event}")
+        path = "/debug/trace" + ("?" + "&".join(params) if params else "")
+        return self._get_json(path)
 
     def designs(self) -> list[str]:
         return self._get_json("/v1/designs")

@@ -37,6 +37,10 @@ class ServeConfig:
             unbounded spec would let one request monopolise a worker).
         default_scale: suite scale used when a request omits ``scale``
             (``None``: the process-wide ``REPRO_SCALE`` resolution).
+        trace_buffer: capacity of the request-event ring served on
+            ``GET /debug/trace`` (``0`` disables request tracing).
+        events_path: optional JSONL file every request event is also
+            appended to (the ring only holds the recent window).
     """
 
     host: str = "127.0.0.1"
@@ -49,6 +53,8 @@ class ServeConfig:
     max_body_bytes: int = 1 << 20
     max_events: int = 2_000_000
     default_scale: str | None = None
+    trace_buffer: int = 4096
+    events_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -57,6 +63,8 @@ class ServeConfig:
             raise ValueError("workers must be >= 1")
         if self.batch_window < 0:
             raise ValueError("batch_window must be non-negative")
+        if self.trace_buffer < 0:
+            raise ValueError("trace_buffer must be non-negative")
 
     def replace(self, **changes: Any) -> "ServeConfig":
         return replace(self, **changes)
@@ -84,4 +92,6 @@ def config_from_env() -> ServeConfig:
         max_body_bytes=_int("REPRO_SERVE_MAX_BODY", 1 << 20),
         max_events=_int("REPRO_SERVE_MAX_EVENTS", 2_000_000),
         default_scale=os.environ.get("REPRO_SERVE_SCALE") or None,
+        trace_buffer=_int("REPRO_SERVE_TRACE_BUFFER", 4096),
+        events_path=os.environ.get("REPRO_SERVE_EVENTS") or None,
     )

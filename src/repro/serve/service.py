@@ -29,19 +29,32 @@ get 503, and every in-flight request is answered before the service
 exits (bounded by ``drain_timeout``).
 
 Metrics (when a recording registry is active): ``serve_requests_total``
-by outcome, ``serve_request_seconds`` latency, ``serve_queue_depth``,
-``serve_batch_size``, ``serve_cache_outcome_total`` and
-``serve_trace_decodes_total``.  The same numbers are always available
-as plain counters on ``/v1/stats`` (the tests pin those).
+by outcome, ``serve_request_seconds`` latency (serve-tuned sub-ms
+buckets), ``serve_queue_depth``, ``serve_batch_size``,
+``serve_cache_outcome_total`` and ``serve_trace_decodes_total``.  The
+same numbers are always available as plain counters on ``/v1/stats``
+(the tests pin those).
+
+Request tracing: every ``/v1/simulate`` request gets a correlation id
+(``X-Repro-Request-Id``) at admission and leaves a hop trail in the
+service's event log (:mod:`repro.obs.events`) -- ``admit`` →
+``batch-join`` → ``batch-execute`` → ``cache`` → ``respond`` -- with
+the batch runner's thread bound to the batch's ids so harness /
+disk-cache / scheduler events join each member request's trace.  The
+recent ring is served on ``GET /debug/trace``; per-hop timing
+(batch-wait / executor-queue / simulate) rides back in ``X-Repro-*``
+headers.  ``trace_buffer=0`` disables all of it (null event log).
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import json
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from http import HTTPStatus
@@ -50,7 +63,9 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.frontend.simulator import FrontendSimulator
 from repro.frontend.stats import FrontendStats
-from repro.obs.metrics import get_registry
+from repro.obs import events as obs_events
+from repro.obs.events import EventLog, NullEventLog, bind_rids, new_request_id
+from repro.obs.metrics import SERVE_BUCKETS, get_registry
 from repro.serve.config import ServeConfig, config_from_env
 from repro.serve.protocol import (
     RequestError,
@@ -252,19 +267,28 @@ def default_batch_runner(jobs: list[SimJob]) -> BatchOutcome:
 
 
 class _Batch:
-    """One open micro-batch: unique jobs -> the futures awaiting them."""
+    """One open micro-batch: unique jobs -> the waiters awaiting them.
 
-    __slots__ = ("group_key", "jobs", "closed", "size")
+    Each waiter is ``(future, rid)`` -- the correlation id rides along
+    so batch execution and cache outcomes land in every member
+    request's trace.
+    """
 
-    def __init__(self, group_key: tuple[str, str]) -> None:
+    __slots__ = ("batch_id", "group_key", "jobs", "closed", "size")
+
+    def __init__(self, batch_id: str, group_key: tuple[str, str]) -> None:
+        self.batch_id = batch_id
         self.group_key = group_key
-        self.jobs: dict[SimJob, list[asyncio.Future]] = {}
+        self.jobs: dict[SimJob, list[tuple[asyncio.Future, str]]] = {}
         self.closed = False
         self.size = 0
 
-    def add(self, job: SimJob, future: asyncio.Future) -> None:
-        self.jobs.setdefault(job, []).append(future)
+    def add(self, job: SimJob, future: asyncio.Future, rid: str) -> None:
+        self.jobs.setdefault(job, []).append((future, rid))
         self.size += 1
+
+    def rids(self) -> list[str]:
+        return [rid for waiters in self.jobs.values() for _, rid in waiters]
 
 
 # -- the service ------------------------------------------------------------
@@ -291,8 +315,19 @@ class SimulationService:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event: asyncio.Event | None = None
         self._batches: dict[tuple[str, str], _Batch] = {}
+        self._batch_seq = itertools.count(1)
         self._inflight = 0
         self._draining = False
+        #: Request-event log: ring served on /debug/trace (+ optional
+        #: JSONL sink).  trace_buffer=0 turns tracing off entirely.
+        self.events: EventLog | NullEventLog = (
+            EventLog(
+                capacity=self.config.trace_buffer,
+                sink_path=self.config.events_path,
+            )
+            if self.config.trace_buffer > 0
+            else NullEventLog()
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-serve"
         )
@@ -334,21 +369,27 @@ class SimulationService:
             except (RuntimeError, NotImplementedError, ValueError):
                 pass  # non-main thread or unsupported platform
         try:
-            if _on_ready is not None:
-                _on_ready()
-            await self._shutdown_event.wait()
-            # Graceful drain: stop accepting, let in-flight work finish.
-            self._draining = True
-            server.close()
-            await server.wait_closed()
-            deadline = self._loop.time() + self.config.drain_timeout
-            while self._inflight > 0 and self._loop.time() < deadline:
-                await asyncio.sleep(0.01)
+            # The service's event log becomes the process-wide active
+            # one while serving, so emissions from the deep layers
+            # (harness, disk cache, scheduler) land in the same ring as
+            # the service's own hop events.
+            with obs_events.use_event_log(self.events):
+                if _on_ready is not None:
+                    _on_ready()
+                await self._shutdown_event.wait()
+                # Graceful drain: stop accepting, let in-flight work finish.
+                self._draining = True
+                server.close()
+                await server.wait_closed()
+                deadline = self._loop.time() + self.config.drain_timeout
+                while self._inflight > 0 and self._loop.time() < deadline:
+                    await asyncio.sleep(0.01)
         finally:
             for signum in installed_signals:
                 self._loop.remove_signal_handler(signum)
             server.close()
             self._executor.shutdown(wait=False, cancel_futures=True)
+            self.events.close()
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain (thread-safe; signals route here too)."""
@@ -363,16 +404,38 @@ class SimulationService:
 
     # -- admission + batching ------------------------------------------------
 
-    async def _submit(self, job: SimJob) -> tuple[FrontendStats, str, int]:
+    async def _submit(
+        self, job: SimJob, rid: str
+    ) -> tuple[FrontendStats, str, int, tuple[float, float, float]]:
         loop = asyncio.get_running_loop()
         batch = self._batches.get(job.group_key)
         if batch is None or batch.closed:
-            batch = _Batch(job.group_key)
+            batch = _Batch(f"b{next(self._batch_seq):05d}", job.group_key)
             self._batches[job.group_key] = batch
             asyncio.ensure_future(self._flush_batch(batch))
         future: asyncio.Future = loop.create_future()
-        batch.add(job, future)
+        batch.add(job, future, rid)
+        self.events.emit(
+            "batch-join", rid=rid, batch=batch.batch_id,
+            group=list(batch.group_key), design=job.design_key,
+        )
         return await future
+
+    def _execute_batch(
+        self, jobs: list[SimJob], rids: list[str], batch_id: str, size: int
+    ) -> tuple[BatchOutcome, float, float]:
+        """Worker-thread wrapper around the (injectable) runner: binds
+        the batch's correlation ids so deep-layer events join every
+        member request's trace, and times the actual execution."""
+        with bind_rids(*rids):
+            exec_start = time.monotonic()
+            self.events.emit(
+                "batch-execute", batch=batch_id, jobs=len(jobs),
+                size=size, rids=rids,
+            )
+            outcome = self._runner(jobs)
+            exec_end = time.monotonic()
+        return outcome, exec_start, exec_end
 
     async def _flush_batch(self, batch: _Batch) -> None:
         try:
@@ -392,26 +455,31 @@ class SimulationService:
             buckets=(1, 2, 4, 8, 16, 32, 64, 128),
         ).observe(batch.size)
         jobs = list(batch.jobs)
+        flush_ts = time.monotonic()
         try:
-            outcome = await asyncio.get_running_loop().run_in_executor(
-                self._executor, self._runner, jobs
+            outcome, exec_start, exec_end = (
+                await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._execute_batch,
+                    jobs, batch.rids(), batch.batch_id, batch.size,
+                )
             )
         except Exception as exc:  # noqa: BLE001 - surfaced as per-request 500s
-            for futures in batch.jobs.values():
-                for future in futures:
+            for waiters in batch.jobs.values():
+                for future, _rid in waiters:
                     if not future.done():
                         future.set_exception(exc)
             return
+        timing = (flush_ts, exec_start, exec_end)
         self.counters["trace_decodes"] += outcome.decodes
         if outcome.decodes:
             registry.counter(
                 "serve_trace_decodes_total", "fresh trace decodes forced by batches"
             ).inc(outcome.decodes)
-        for job, futures in batch.jobs.items():
+        for job, waiters in batch.jobs.items():
             result = outcome.results.get(job)
             if result is None:
                 error = RuntimeError(f"runner returned no result for {job.trace_name}")
-                for future in futures:
+                for future, _rid in waiters:
                     if not future.done():
                         future.set_exception(error)
                 continue
@@ -419,27 +487,41 @@ class SimulationService:
             if kind == "fresh":
                 self.counters["fresh_jobs"] += 1
             self.counters["outcomes"][kind] = (
-                self.counters["outcomes"].get(kind, 0) + len(futures)
+                self.counters["outcomes"].get(kind, 0) + len(waiters)
             )
             registry.counter(
                 "serve_cache_outcome_total", "simulate requests by cache outcome"
-            ).inc(len(futures), outcome=kind)
-            for future in futures:
+            ).inc(len(waiters), outcome=kind)
+            for future, rid in waiters:
+                self.events.emit(
+                    "cache", rid=rid, batch=batch.batch_id, outcome=kind,
+                )
                 if not future.done():
-                    future.set_result((stats, kind, batch.size))
+                    future.set_result((stats, kind, batch.size, timing))
 
     # -- request handlers ----------------------------------------------------
 
+    def _reject(
+        self, rid: str, status: HTTPStatus, code: str, message: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """A structured rejection, traced and tagged with the rid."""
+        self.events.emit("respond", rid=rid, status=int(status), outcome=code)
+        result = _error(status, code, message)
+        result[2]["X-Repro-Request-Id"] = rid
+        return result
+
     async def _simulate(self, body: bytes) -> tuple[int, bytes, dict[str, str]]:
         registry = get_registry()
+        rid = new_request_id()
+        self.events.emit("admit", rid=rid, bytes=len(body))
         self.counters["requests_total"] += 1
         if self._draining:
             self.counters["draining_rejected"] += 1
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="draining")
-            return _error(HTTPStatus.SERVICE_UNAVAILABLE, "draining",
-                          "service is draining for shutdown")
+            return self._reject(rid, HTTPStatus.SERVICE_UNAVAILABLE, "draining",
+                                "service is draining for shutdown")
         try:
             payload = json.loads(body)
         except ValueError:
@@ -447,8 +529,8 @@ class SimulationService:
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="bad-request")
-            return _error(HTTPStatus.BAD_REQUEST, "bad-json",
-                          "request body is not valid JSON")
+            return self._reject(rid, HTTPStatus.BAD_REQUEST, "bad-json",
+                                "request body is not valid JSON")
         try:
             job = parse_request(
                 payload,
@@ -461,47 +543,64 @@ class SimulationService:
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="bad-request")
-            return _error(HTTPStatus.BAD_REQUEST, error.code, error.message)
+            return self._reject(rid, HTTPStatus.BAD_REQUEST, error.code, error.message)
         if self._inflight >= self.config.queue_limit:
             self.counters["rejected"] += 1
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="rejected")
             retry_after = max(1, round(self.config.retry_after))
-            status, body_bytes, headers = _error(
-                HTTPStatus.TOO_MANY_REQUESTS, "queue-full",
+            status, body_bytes, headers = self._reject(
+                rid, HTTPStatus.TOO_MANY_REQUESTS, "queue-full",
                 f"admission queue is full ({self.config.queue_limit} in flight); "
                 f"retry after {retry_after}s",
             )
             headers["Retry-After"] = str(retry_after)
             return status, body_bytes, headers
-        loop = asyncio.get_running_loop()
-        started = loop.time()
+        started = time.monotonic()
         self._inflight += 1
         registry.gauge(
             "serve_queue_depth", "simulate requests queued or running"
         ).set(self._inflight)
         try:
-            stats, kind, batch_size = await self._submit(job)
+            stats, kind, batch_size, timing = await self._submit(job, rid)
         except Exception as exc:  # noqa: BLE001 - reported as a structured 500
             self.counters["errors"] += 1
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="error")
-            return _error(HTTPStatus.INTERNAL_SERVER_ERROR, "internal",
-                          f"{type(exc).__name__}: {exc}")
+            return self._reject(rid, HTTPStatus.INTERNAL_SERVER_ERROR, "internal",
+                                f"{type(exc).__name__}: {exc}")
         finally:
             self._inflight -= 1
             registry.gauge(
                 "serve_queue_depth", "simulate requests queued or running"
             ).set(self._inflight)
             registry.histogram(
-                "serve_request_seconds", "simulate request latency"
-            ).observe(loop.time() - started, design=job.design_key)
+                "serve_request_seconds", "simulate request latency",
+                buckets=SERVE_BUCKETS,
+            ).observe(time.monotonic() - started, design=job.design_key)
         self.counters["ok"] += 1
         registry.counter(
             "serve_requests_total", "simulate requests by outcome"
         ).inc(outcome="ok")
+        # Per-hop latency decomposition (all monotonic-clock deltas):
+        # how long the request sat in its open micro-batch, how long
+        # the closed batch waited for an executor thread, and how long
+        # the runner actually took.
+        flush_ts, exec_start, exec_end = timing
+        seconds = time.monotonic() - started
+        batch_wait_s = max(0.0, flush_ts - started)
+        queue_s = max(0.0, exec_start - flush_ts)
+        simulate_s = max(0.0, exec_end - exec_start)
+        self.events.emit(
+            "respond", rid=rid, status=200, outcome=kind,
+            app=job.trace_name, design=job.design_key,
+            seconds=round(seconds, 6),
+            batch_wait_s=round(batch_wait_s, 6),
+            queue_s=round(queue_s, 6),
+            simulate_s=round(simulate_s, 6),
+        )
         return (
             HTTPStatus.OK,
             stats_payload(stats),
@@ -510,6 +609,10 @@ class SimulationService:
                 "X-Repro-Batch-Size": str(batch_size),
                 "X-Repro-App": job.trace_name,
                 "X-Repro-Design": job.design_key,
+                "X-Repro-Request-Id": rid,
+                "X-Repro-Batch-Wait-Seconds": f"{batch_wait_s:.6f}",
+                "X-Repro-Queue-Seconds": f"{queue_s:.6f}",
+                "X-Repro-Simulate-Seconds": f"{simulate_s:.6f}",
             },
         )
 
@@ -532,8 +635,13 @@ class SimulationService:
         }
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        request_headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes, dict[str, str]]:
+        request_headers = request_headers or {}
         parts = urlsplit(target)
         path = parts.path
         if path == "/v1/simulate":
@@ -547,10 +655,38 @@ class SimulationService:
         if path == "/healthz":
             status = "draining" if self._draining else "ok"
             return HTTPStatus.OK, canonical_json(
-                {"status": status, "inflight": self._inflight}
+                {
+                    "status": status,
+                    "inflight": self._inflight,
+                    "events": self.events.drain_info(),
+                }
             ), {}
         if path == "/metrics":
+            accept = request_headers.get("accept", "")
+            if "text/plain" in accept:
+                return (
+                    HTTPStatus.OK,
+                    get_registry().to_prometheus_text().encode(),
+                    {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                )
             return HTTPStatus.OK, get_registry().to_json().encode(), {}
+        if path == "/debug/trace":
+            query = parse_qs(parts.query)
+            rid = query.get("rid", [None])[0]
+            event = query.get("event", [None])[0]
+            limit_raw = query.get("limit", [None])[0]
+            try:
+                limit = int(limit_raw) if limit_raw is not None else None
+            except ValueError:
+                return _error(HTTPStatus.BAD_REQUEST, "bad-limit",
+                              f"limit must be an integer, got {limit_raw!r}")
+            if rid is not None:
+                records = self.events.for_request(rid)
+            else:
+                records = self.events.recent(limit=limit, event=event)
+            return HTTPStatus.OK, canonical_json(
+                {"drain": self.events.drain_info(), "records": records}
+            ), {}
         if path == "/v1/stats":
             return HTTPStatus.OK, canonical_json(self.stats_snapshot()), {}
         if path == "/v1/designs":
@@ -579,13 +715,13 @@ class SimulationService:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, target, keep_alive, body, parse_error = request
+                method, target, keep_alive, body, request_headers, parse_error = request
                 if parse_error is not None:
                     status, payload, headers = parse_error
                     keep_alive = False
                 else:
                     status, payload, headers = await self._dispatch(
-                        method, target, body
+                        method, target, body, request_headers
                     )
                 keep_alive = keep_alive and not self._draining
                 writer.write(_encode_response(status, payload, headers, keep_alive))
@@ -602,15 +738,15 @@ class SimulationService:
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one HTTP/1.1 request.  Returns ``None`` on clean EOF, or
-        ``(method, target, keep_alive, body, error)`` where a non-None
-        ``error`` is a ready-to-send response triple."""
+        ``(method, target, keep_alive, body, headers, error)`` where a
+        non-None ``error`` is a ready-to-send response triple."""
         line = await reader.readline()
         if not line:
             return None
         try:
             method, target, version = line.decode("latin-1").split()
         except ValueError:
-            return "", "", False, b"", _error(
+            return "", "", False, b"", {}, _error(
                 HTTPStatus.BAD_REQUEST, "bad-request", "malformed request line"
             )
         headers: dict[str, str] = {}
@@ -621,7 +757,7 @@ class SimulationService:
             name, _, value = header_line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
             if len(headers) > 100:
-                return method, target, False, b"", _error(
+                return method, target, False, b"", headers, _error(
                     HTTPStatus.BAD_REQUEST, "bad-request", "too many headers"
                 )
         keep_alive = (
@@ -632,18 +768,18 @@ class SimulationService:
         try:
             length = int(raw_length)
         except ValueError:
-            return method, target, False, b"", _error(
+            return method, target, False, b"", headers, _error(
                 HTTPStatus.BAD_REQUEST, "bad-request",
                 f"bad Content-Length {raw_length!r}",
             )
         if length < 0 or length > self.config.max_body_bytes:
-            return method, target, False, b"", _error(
+            return method, target, False, b"", headers, _error(
                 HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "too-large",
                 f"body of {length} bytes exceeds the "
                 f"{self.config.max_body_bytes}-byte limit",
             )
         body = await reader.readexactly(length) if length else b""
-        return method, target, keep_alive, body, None
+        return method, target, keep_alive, body, headers, None
 
 
 def _error(
@@ -656,13 +792,18 @@ def _error(
 def _encode_response(
     status: int, body: bytes, headers: dict[str, str], keep_alive: bool
 ) -> bytes:
+    content_type = headers.get("Content-Type", "application/json")
     lines = [
         f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
-    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    lines.extend(
+        f"{name}: {value}"
+        for name, value in headers.items()
+        if name != "Content-Type"
+    )
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs.metrics import (
+    SERVE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -14,6 +15,7 @@ from repro.obs.metrics import (
     enable_metrics,
     get_registry,
     metrics_enabled,
+    percentile_from_buckets,
     use_registry,
 )
 from repro.obs.tracing import (
@@ -85,6 +87,93 @@ def test_histogram_labels():
     assert hist.count(worker=1) == 1
     assert hist.count(worker=2) == 1
     assert hist.count() == 0
+
+
+# -- metrics: percentile estimation ------------------------------------------
+
+
+def test_percentile_from_buckets_interpolates_within_bucket():
+    buckets = (1.0, 2.0, 4.0)
+    counts = [2, 2, 0, 0]  # four observations, none past 2.0
+    # rank 2 lands exactly at the end of the first bucket (lower bound 0).
+    assert percentile_from_buckets(buckets, counts, 50) == pytest.approx(1.0)
+    # rank 3 is halfway through the second bucket: 1.0 + 0.5 * (2.0 - 1.0).
+    assert percentile_from_buckets(buckets, counts, 75) == pytest.approx(1.5)
+
+
+def test_percentile_from_buckets_overflow_and_clamping():
+    # Everything in the unbounded overflow bucket: report the observed
+    # max when known, else the last finite bound.
+    assert percentile_from_buckets((1.0,), [0, 3], 99, maximum=7.5) == 7.5
+    assert percentile_from_buckets((1.0,), [0, 3], 99) == 1.0
+    # The uniform-within-bucket assumption can undershoot the observed
+    # minimum on tiny samples; the clamp repairs that.
+    assert percentile_from_buckets((10.0,), [4, 0], 10, minimum=2.0) == 2.0
+    # Degenerate inputs.
+    assert percentile_from_buckets((1.0,), [0, 0], 50) == 0.0
+    with pytest.raises(ValueError):
+        percentile_from_buckets((1.0,), [1, 0], 101)
+
+
+def test_histogram_percentile_per_series_and_merged():
+    hist = Histogram("seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value, design="a")
+    hist.observe(50.0, design="b")
+    # Series "a": rank 1.5 of 3 is halfway through the (0.1, 1.0] bucket.
+    assert hist.percentile(50, design="a") == pytest.approx(0.55)
+    # No labels with several series recorded: cross-series merge. The
+    # p99 rank lands in the overflow bucket, so it reports the max hull.
+    assert hist.percentile(99) == pytest.approx(50.0)
+    # Unknown label set estimates 0, not a crash.
+    assert hist.percentile(50, design="nope") == 0.0
+    quantiles = hist.percentiles(design="a")
+    assert set(quantiles) == {"p50", "p95", "p99"}
+    # Snapshot series carry the percentile estimates for reports.
+    series = {
+        tuple(sorted(entry["labels"].items())): entry
+        for entry in hist.to_dict()["series"]
+    }
+    assert series[(("design", "a"),)]["p50"] == pytest.approx(0.55)
+
+
+def test_registry_histogram_bucket_override_semantics():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+    # Same buckets: plain idempotent get.
+    assert registry.histogram("lat_seconds", buckets=(1.0, 2.0)) is hist
+    # Different buckets before any observation: adopted in place.
+    assert registry.histogram("lat_seconds", buckets=SERVE_BUCKETS) is hist
+    assert hist.buckets == tuple(sorted(SERVE_BUCKETS))
+    hist.observe(0.01)
+    # Different buckets after data: counts can't be redistributed.
+    with pytest.raises(ValueError):
+        registry.histogram("lat_seconds", buckets=(5.0,))
+    # Omitting buckets never re-buckets.
+    assert registry.histogram("lat_seconds") is hist
+
+
+def test_registry_prometheus_text_exposition():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", help="All requests").inc(3, design="a")
+    registry.gauge("inflight").set(2)
+    hist = registry.histogram("wait_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05, design="a")
+    hist.observe(5.0, design="a")
+    text = registry.to_prometheus_text()
+    assert "# HELP requests_total All requests" in text
+    assert "# TYPE requests_total counter" in text
+    assert 'requests_total{design="a"} 3' in text
+    assert "# TYPE inflight gauge" in text
+    assert "inflight 2" in text
+    # Histogram buckets are cumulative and end with +Inf/_sum/_count.
+    assert 'wait_seconds_bucket{design="a",le="0.1"} 1' in text
+    assert 'wait_seconds_bucket{design="a",le="1"} 1' in text
+    assert 'wait_seconds_bucket{design="a",le="+Inf"} 2' in text
+    assert 'wait_seconds_sum{design="a"} 5.05' in text
+    assert 'wait_seconds_count{design="a"} 2' in text
+    assert text.endswith("\n")
+    assert NullRegistry().to_prometheus_text() == ""
 
 
 # -- metrics: registry -------------------------------------------------------
@@ -214,6 +303,45 @@ def test_jsonl_round_trip(tmp_path):
     assert records[0]["name"] == "simulate"
     assert records[1]["parent_id"] == records[0]["span_id"]
     assert records[1]["depth"] == 1
+
+
+def test_tracer_concurrent_asyncio_tasks_keep_parentage(tmp_path):
+    """Interleaved asyncio tasks must not corrupt span parentage.
+
+    Each task inherits the spawner's contextvar stack snapshot, so its
+    spans parent under the root that was open when it was created --
+    never under a sibling task's span -- and the JSONL sink stays one
+    well-formed record per line."""
+    import asyncio
+
+    tracer = Tracer()
+
+    async def worker(n: int) -> None:
+        with tracer.span(f"task-{n}", index=n):
+            await asyncio.sleep(0)  # force interleaving with siblings
+            with tracer.span(f"task-{n}-inner"):
+                await asyncio.sleep(0)
+
+    async def main():
+        with tracer.span("root") as root:
+            await asyncio.gather(*(worker(n) for n in range(8)))
+        return root
+
+    root = asyncio.run(main())
+    path = tmp_path / "spans.jsonl"
+    tracer.write_jsonl(str(path))
+    lines = path.read_text().splitlines()
+    records = [json.loads(line) for line in lines]  # every line parses
+    assert len(records) == 1 + 2 * 8
+    by_name = {record["name"]: record for record in records}
+    assert by_name["root"]["span_id"] == root.span_id
+    for n in range(8):
+        outer = by_name[f"task-{n}"]
+        inner = by_name[f"task-{n}-inner"]
+        assert outer["parent_id"] == root.span_id, outer
+        assert outer["depth"] == 1
+        assert inner["parent_id"] == outer["span_id"], inner
+        assert inner["depth"] == 2
 
 
 def test_trace_memory_records_peaks():
