@@ -45,6 +45,21 @@ _LINT_EXPORTS = {
     "lint_source": "repro.checks.lint",
     "run_lint": "repro.checks.lint",
     "ALL_RULES": "repro.checks.rules",
+    # Interprocedural passes (same lazy treatment: callgraph imports
+    # the lint engine, which must stay cycle-free at package import).
+    "Project": "repro.checks.callgraph",
+    "build_project": "repro.checks.callgraph",
+    "build_project_from_sources": "repro.checks.callgraph",
+    "run_concurrency": "repro.checks.concurrency",
+    "run_contracts": "repro.checks.contracts",
+    "KNOWN_KNOBS": "repro.checks.contracts",
+    "METRIC_CATALOG": "repro.checks.contracts",
+    "EVENT_CATALOG": "repro.checks.contracts",
+    "apply_baseline": "repro.checks.baseline",
+    "load_baseline": "repro.checks.baseline",
+    "write_baseline": "repro.checks.baseline",
+    "to_json": "repro.checks.output",
+    "to_sarif": "repro.checks.output",
 }
 
 __all__ = [

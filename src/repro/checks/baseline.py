@@ -1,0 +1,93 @@
+"""Finding baseline: fail-on-*new*-findings semantics for CI.
+
+A static gate added to a living repo needs a ratchet, not a cliff: the
+committed baseline file records the findings that existed when the gate
+shipped, CI fails only on findings *beyond* it, and shrinking the
+baseline is a one-flag operation (``--update-baseline``).  This repo's
+baseline is empty -- every finding the analyzer surfaced was fixed, not
+recorded -- but the mechanism keeps future rules adoptable.
+
+Fingerprints are ``path:code:message`` with the path normalised
+relative to the baseline file's directory and *no line numbers*, so an
+unrelated edit shifting a suppressed finding down a page does not break
+CI.  Identical findings are counted: a second occurrence of an already
+baselined (path, code, message) is still new.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.checks.lint import LintFinding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: LintFinding, root: Path | None = None) -> str:
+    """Stable identity for one finding (line numbers excluded)."""
+    path = finding.path
+    if root is not None:
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:
+            pass
+    return f"{Path(path).as_posix()}:{finding.code}:{finding.message}"
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """``fingerprint -> allowed count``; a missing file allows nothing."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text())
+    findings = document.get("findings", {})
+    return {str(key): int(value) for key, value in findings.items()}
+
+
+def write_baseline(
+    path: Path | str, findings: Iterable[LintFinding], root: Path | None = None
+) -> None:
+    counts = Counter(fingerprint(f, root) for f in findings)
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: Iterable[LintFinding],
+    baseline: dict[str, int],
+    root: Path | None = None,
+) -> tuple[list[LintFinding], list[str]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    For each fingerprint, up to the baselined count of occurrences is
+    tolerated (earliest lines first); the excess is new.  Baseline
+    entries whose current count dropped below the recorded one are
+    stale -- the finding was fixed and the baseline should shrink.
+    """
+    grouped: dict[str, list[LintFinding]] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        grouped.setdefault(fingerprint(finding, root), []).append(finding)
+    new: list[LintFinding] = []
+    for key, group in grouped.items():
+        allowed = baseline.get(key, 0)
+        new.extend(group[allowed:])
+    stale = sorted(
+        key
+        for key, allowed in baseline.items()
+        if len(grouped.get(key, ())) < allowed
+    )
+    return sorted(new, key=lambda f: f.sort_key), stale

@@ -1,0 +1,571 @@
+"""Project-wide call graph for interprocedural checks.
+
+The per-file rules of :mod:`repro.checks.rules` cannot see across call
+boundaries, but the properties that matter for the serve stack are
+inherently interprocedural: a ``time.sleep`` two helpers deep stalls the
+event loop exactly as hard as one written inline in the handler.  This
+module builds a conservative, name-based call graph over the whole
+source tree once, and the concurrency pass
+(:mod:`repro.checks.concurrency`) runs reachability queries over it.
+
+Resolution strategy (deliberately simple, tuned for precision over
+recall -- a static gate that cries wolf gets deleted):
+
+* ``f(...)`` resolves to a same-module function or an explicit
+  ``from mod import f`` target.
+* ``self.m(...)`` resolves to a method of the enclosing class first,
+  falling back to a union over same-named methods project-wide.
+* ``alias.f(...)`` resolves through ``import``/``from .. import``
+  aliases when ``alias`` names a project module.  Attribute calls whose
+  base is a *known stdlib/third-party alias* resolve to nothing rather
+  than polluting the union.
+* Any other ``obj.m(...)`` unions over all project functions named
+  ``m``, capped at :data:`UNION_CAP` candidates and filtered through
+  :data:`UNION_DENY` (ubiquitous container/IO method names that would
+  otherwise wire unrelated code together).
+
+Executor hand-offs (``loop.run_in_executor``, ``asyncio.to_thread``,
+``executor.submit``, ``threading.Thread(target=...)``) are treated as
+*boundaries*: the callee is registered as a thread entry point, not as
+an edge, because the blocking-ness of code behind the boundary is the
+point of using an executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.checks.lint import FileContext, LintFinding, iter_python_files
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "build_project_from_sources",
+    "iter_own_nodes",
+]
+
+#: Attribute names too generic to union-resolve by bare name: wiring
+#: ``record.update(...)`` to every BTB's ``update`` method (or
+#: ``writer.write`` to a nested file helper) would connect unrelated
+#: subsystems and drown the analysis in false paths.  ``emit`` is
+#: deliberately *not* here: ``self.events.emit`` resolving into
+#: ``EventLog.emit`` is the single most important edge in the serve
+#: stack.
+UNION_DENY = frozenset(
+    {
+        "acquire",
+        "add",
+        "append",
+        "cancel",
+        "clear",
+        "close",
+        "copy",
+        "discard",
+        "done",
+        "drain",
+        "extend",
+        "flush",
+        "get",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "load",
+        "observe",
+        "open",
+        "pop",
+        "popleft",
+        "put",
+        "read",
+        "recv",
+        "release",
+        "remove",
+        "result",
+        "run",
+        "seek",
+        "send",
+        "set",
+        "setdefault",
+        "shutdown",
+        "start",
+        "submit",
+        "terminate",
+        "update",
+        "values",
+        "wait",
+        "write",
+    }
+)
+
+#: Union resolution gives up past this many same-named candidates: a
+#: name that common carries no information about the actual callee.
+UNION_CAP = 8
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    class_qualname: str | None
+    path: str
+    lineno: int
+    is_async: bool
+    node: ast.AST = field(repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    caller: str
+    lineno: int
+    col: int
+    targets: tuple[str, ...]
+    #: True for same-module / ``self.`` / module-alias resolutions;
+    #: False for bare-name unions (REP103 only trusts confident sites).
+    confident: bool
+    awaited: bool
+    #: Call appears as the argument of ``create_task``/``ensure_future``
+    #: (the coroutine *does* run, on the loop, just not inline).
+    spawned: bool
+    node: ast.Call = field(repr=False, compare=False)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    module: str
+    path: str
+    source: str
+    tree: ast.Module
+    ctx: FileContext
+    #: local name -> ("module", dotted) | ("obj", dotted qualname)
+    aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: module-level mutable-container globals: name -> declaration line
+    container_globals: dict[str, int] = field(default_factory=dict)
+    #: module-level integer-constant globals (counters): name -> line
+    int_globals: dict[str, int] = field(default_factory=dict)
+    #: module-level names bound to ``ContextVar(...)``
+    contextvars: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Project:
+    """The parsed project: functions, call sites, and boundaries."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_name: dict[str, list[str]] = field(default_factory=dict)
+    calls: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: qualnames handed to an executor/thread boundary
+    thread_roots: set[str] = field(default_factory=set)
+    #: class qualname -> instance attrs assigned ``open(...)`` somewhere
+    file_handles: dict[str, set[str]] = field(default_factory=dict)
+    #: (class qualname, attr) pairs bound to ``ContextVar(...)``
+    attr_contextvars: set[tuple[str, str]] = field(default_factory=set)
+    #: REP000 findings for unparseable files
+    syntax_errors: list[LintFinding] = field(default_factory=list)
+
+    # -- queries ------------------------------------------------------------
+
+    def async_roots(self) -> list[str]:
+        return sorted(q for q, f in self.functions.items() if f.is_async)
+
+    def successors(self, qualname: str) -> Iterator[str]:
+        """Callees executed in the *same* thread/loop context as the
+        caller.  A sync function naming an async one does not run it
+        (the coroutine object is dropped or scheduled elsewhere), so
+        sync -> async edges only exist for awaited/spawned sites."""
+        caller = self.functions[qualname]
+        for site in self.calls.get(qualname, ()):
+            for target in site.targets:
+                info = self.functions.get(target)
+                if info is None:
+                    continue
+                if info.is_async and not (
+                    caller.is_async and (site.awaited or site.spawned)
+                ):
+                    continue
+                yield target
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        seen = set()
+        frontier = [q for q in roots if q in self.functions]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(
+                t for t in self.successors(current) if t not in seen
+            )
+        return seen
+
+    def loop_reachable(self) -> set[str]:
+        """Functions that can run on the asyncio event loop."""
+        return self.reachable_from(self.async_roots())
+
+    def thread_reachable(self) -> set[str]:
+        """Functions reachable from an executor/thread entry point."""
+        return self.reachable_from(self.thread_roots)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name: the path tail from the last ``repro`` part."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[index:]
+    else:
+        parts = parts[-1:]
+    if parts[-1] == "__init__":
+        parts = parts[:-1] or ["repro"]
+    return ".".join(parts)
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs,
+    lambdas, or class bodies (those are separate execution scopes)."""
+    for child in ast.iter_child_nodes(root):
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            yield from iter_own_nodes(child)
+
+
+def build_project_from_sources(sources: dict[str, str]) -> Project:
+    """Build from ``{module_name: source}`` (the unit tests' entry)."""
+    project = Project()
+    parsed: list[tuple[str, str, str]] = []
+    for module, source in sorted(sources.items()):
+        parsed.append((module, f"{module.replace('.', '/')}.py", source))
+    _build(project, parsed)
+    return project
+
+
+def build_project(paths: Iterable[Path | str]) -> Project:
+    """Build from files/directories on disk (the CLI's entry)."""
+    project = Project()
+    parsed: list[tuple[str, str, str]] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        parsed.append(
+            (module_name_for(file_path), str(file_path), file_path.read_text())
+        )
+    _build(project, parsed)
+    return project
+
+
+# -- construction -----------------------------------------------------------
+
+
+def _build(project: Project, parsed: list[tuple[str, str, str]]) -> None:
+    # Phase 1: parse everything, register functions/classes/globals, so
+    # phase 2 can resolve forward references across modules.
+    for module, path, source in parsed:
+        ctx = FileContext.from_source(source, path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            project.syntax_errors.append(
+                LintFinding(
+                    path,
+                    error.lineno or 1,
+                    error.offset or 0,
+                    "REP000",
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        info = ModuleInfo(module=module, path=path, source=source, tree=tree, ctx=ctx)
+        project.modules[module] = info
+        _register_defs(project, info, tree, prefix=(), class_qualname=None)
+        _collect_module_globals(info)
+
+    # Phase 2: aliases (need the full module set), then call sites.
+    for info in project.modules.values():
+        _collect_aliases(project, info)
+    for info in project.modules.values():
+        _collect_class_state(project, info)
+    for function in project.functions.values():
+        _collect_calls(project, function)
+
+
+def _register_defs(
+    project: Project,
+    info: ModuleInfo,
+    node: ast.AST,
+    prefix: tuple[str, ...],
+    class_qualname: str | None,
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, _DEF_NODES):
+            qualname = ".".join((info.module, *prefix, child.name))
+            function = FunctionInfo(
+                qualname=qualname,
+                module=info.module,
+                name=child.name,
+                class_qualname=class_qualname,
+                path=info.path,
+                lineno=child.lineno,
+                is_async=isinstance(child, ast.AsyncFunctionDef),
+                node=child,
+            )
+            project.functions[qualname] = function
+            project.by_name.setdefault(child.name, []).append(qualname)
+            # Nested defs keep the enclosing class for ``self`` calls.
+            _register_defs(
+                project, info, child, (*prefix, child.name), class_qualname
+            )
+        elif isinstance(child, ast.ClassDef):
+            qualname = ".".join((info.module, *prefix, child.name))
+            _register_defs(project, info, child, (*prefix, child.name), qualname)
+
+
+def _collect_aliases(project: Project, info: ModuleInfo) -> None:
+    package = info.module.rsplit(".", 1)[0] if "." in info.module else ""
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.aliases[local] = ("module", target)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                up = package
+                for _ in range(node.level - 1):
+                    up = up.rsplit(".", 1)[0] if "." in up else ""
+                base = f"{up}.{node.module}" if node.module else up
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                dotted = f"{base}.{alias.name}" if base else alias.name
+                kind = "module" if dotted in project.modules else "obj"
+                info.aliases[local] = (kind, dotted)
+
+
+_MUTABLE_FACTORIES = frozenset({"dict", "list", "set", "deque", "defaultdict", "Counter", "OrderedDict"})
+
+
+def _collect_module_globals(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_contextvar_call(value):
+                info.contextvars.add(target.id)
+            elif isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+                info.container_globals[target.id] = node.lineno
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_FACTORIES
+            ):
+                info.container_globals[target.id] = node.lineno
+            elif isinstance(value, ast.Constant) and type(value.value) is int:
+                info.int_globals[target.id] = node.lineno
+
+
+def _is_contextvar_call(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name) and func.id == "ContextVar":
+        return True
+    return isinstance(func, ast.Attribute) and func.attr == "ContextVar"
+
+
+def _collect_class_state(project: Project, info: ModuleInfo) -> None:
+    """Find ``self.X = open(...)`` / ``self.X = ContextVar(...)`` binds
+    anywhere in a class so method bodies can classify attr accesses."""
+    for function in project.functions.values():
+        if function.module != info.module or function.class_qualname is None:
+            continue
+        for node in iter_own_nodes(function.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "open"
+                    for sub in ast.walk(node.value)
+                ):
+                    project.file_handles.setdefault(
+                        function.class_qualname, set()
+                    ).add(target.attr)
+                if _is_contextvar_call(node.value) or (
+                    isinstance(node.value, ast.Call)
+                    and any(
+                        _is_contextvar_call(sub)
+                        for sub in ast.walk(node.value)
+                        if isinstance(sub, ast.Call)
+                    )
+                ):
+                    project.attr_contextvars.add(
+                        (function.class_qualname, target.attr)
+                    )
+
+
+_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+_BOUNDARY_ATTRS = frozenset({"run_in_executor", "to_thread", "submit"})
+_THREAD_FACTORIES = frozenset({"Thread", "Process"})
+
+
+def _collect_calls(project: Project, function: FunctionInfo) -> None:
+    info = project.modules[function.module]
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in iter_own_nodes(function.node):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    sites: list[CallSite] = []
+    for node in iter_own_nodes(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        boundary_target = _boundary_callable(node)
+        if boundary_target is not None:
+            for target in _resolve(project, info, function, boundary_target):
+                project.thread_roots.add(target)
+            continue
+        targets, confident = _resolve_call(project, info, function, node.func)
+        if not targets:
+            continue
+        awaited = isinstance(parents.get(node), ast.Await)
+        spawned = _is_spawn_argument(node, parents)
+        sites.append(
+            CallSite(
+                caller=function.qualname,
+                lineno=node.lineno,
+                col=node.col_offset,
+                targets=targets,
+                confident=confident,
+                awaited=awaited,
+                spawned=spawned,
+                node=node,
+            )
+        )
+    if sites:
+        project.calls[function.qualname] = sites
+
+
+def _boundary_callable(node: ast.Call) -> ast.expr | None:
+    """The callable expression handed across an executor/thread
+    boundary by this call, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "run_in_executor" and len(node.args) >= 2:
+            return node.args[1]
+        if func.attr in {"to_thread", "submit"} and node.args:
+            return node.args[0]
+        if func.attr in _THREAD_FACTORIES:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+    if isinstance(func, ast.Name) and func.id in _THREAD_FACTORIES:
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                return keyword.value
+    return None
+
+
+def _is_spawn_argument(node: ast.Call, parents: dict[ast.AST, ast.AST]) -> bool:
+    parent = parents.get(node)
+    if not isinstance(parent, ast.Call):
+        return False
+    func = parent.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    return name in _SPAWN_NAMES and node in parent.args
+
+
+def _resolve(
+    project: Project,
+    info: ModuleInfo,
+    function: FunctionInfo,
+    expr: ast.expr,
+) -> tuple[str, ...]:
+    targets, _ = _resolve_call(project, info, function, expr)
+    return targets
+
+
+def _resolve_call(
+    project: Project,
+    info: ModuleInfo,
+    function: FunctionInfo,
+    func: ast.expr,
+) -> tuple[tuple[str, ...], bool]:
+    """Resolve a call's callee expression to project qualnames.
+
+    Returns ``(targets, confident)``; confident resolutions come from
+    explicit names, ``self.``, or module aliases.
+    """
+    if isinstance(func, ast.Name):
+        alias = info.aliases.get(func.id)
+        if alias is not None:
+            kind, dotted = alias
+            if kind == "obj" and dotted in project.functions:
+                return (dotted,), True
+            return (), True
+        qualname = f"{info.module}.{func.id}"
+        if qualname in project.functions:
+            return (qualname,), True
+        return (), True
+
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        if attr.startswith("__"):
+            return (), True
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id == "self" and function.class_qualname is not None:
+                qualname = f"{function.class_qualname}.{attr}"
+                if qualname in project.functions:
+                    return (qualname,), True
+                # fall through to the union: a method the class inherits
+                # or receives by injection still has a name.
+            else:
+                alias = info.aliases.get(value.id)
+                if alias is not None:
+                    kind, dotted = alias
+                    if kind == "module":
+                        qualname = f"{dotted}.{attr}"
+                        if qualname in project.functions:
+                            return (qualname,), True
+                        # Known import alias, not a project function:
+                        # stdlib/third-party -- do not union.
+                        return (), True
+        if attr in UNION_DENY:
+            return (), False
+        candidates = project.by_name.get(attr, ())
+        if 0 < len(candidates) <= UNION_CAP:
+            return tuple(sorted(candidates)), False
+        return (), False
+
+    return (), False

@@ -1,0 +1,687 @@
+"""REP1xx: interprocedural concurrency rules for the asyncio serve stack.
+
+==========  ==========================  =====================================
+code        name                        catches
+==========  ==========================  =====================================
+``REP101``  blocking-in-event-loop      blocking primitives (file/``os`` IO,
+                                        ``time.sleep``, ``subprocess``,
+                                        ``Future.result``) reachable from an
+                                        ``async def`` body through any call
+                                        chain that stays on the loop
+``REP102``  fire-and-forget-task        ``asyncio.create_task``/
+                                        ``ensure_future`` whose result is
+                                        dropped (the loop holds only a weak
+                                        reference; the task can be GC'd
+                                        mid-flight and its exception is lost)
+``REP103``  unawaited-coroutine         statement-level call to an ``async
+                                        def`` that is never awaited
+``REP104``  unlocked-shared-state       module/instance state mutated off the
+                                        loop (worker thread, scheduler, CLI)
+                                        without a lock while event-loop code
+                                        reads it
+``REP105``  contextvar-without-reset    ``ContextVar.set`` with no paired
+                                        ``reset`` in the same function (binds
+                                        leak across task/request boundaries)
+==========  ==========================  =====================================
+
+Executor boundaries stop REP101 traversal: code behind
+``run_in_executor``/``to_thread``/``submit`` is *supposed* to block.
+Findings honour the same ``# noqa`` discipline as the per-file rules,
+checked across the whole statement extent (multiline calls included).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.callgraph import (
+    CallSite,
+    FunctionInfo,
+    Project,
+    iter_own_nodes,
+)
+from repro.checks.lint import FileContext, LintFinding
+
+__all__ = ["run_concurrency", "CONCURRENCY_RULES"]
+
+#: code -> (name, summary) for SARIF metadata and docs.
+CONCURRENCY_RULES = {
+    "REP101": (
+        "blocking-in-event-loop",
+        "blocking call reachable from an async def body",
+    ),
+    "REP102": (
+        "fire-and-forget-task",
+        "create_task/ensure_future result dropped (task may be GC'd, exception lost)",
+    ),
+    "REP103": (
+        "unawaited-coroutine",
+        "call to an async def whose coroutine is never awaited",
+    ),
+    "REP104": (
+        "unlocked-shared-state",
+        "state shared between event-loop and thread code mutated without a lock",
+    ),
+    "REP105": (
+        "contextvar-without-reset",
+        "ContextVar.set with no paired reset in the same function",
+    ),
+}
+
+#: Dotted stdlib calls that block the calling thread.
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+        "os.fsync",
+        "shutil.rmtree",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.move",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: ``pathlib.Path`` methods that hit the filesystem.  ``replace`` and
+#: ``rename`` are deliberately absent -- they collide with
+#: ``str.replace``; the atomic-write idiom goes through ``os.replace``,
+#: which :data:`BLOCKING_DOTTED` covers.
+PATH_BLOCKING_ATTRS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "unlink",
+        "mkdir",
+        "touch",
+    }
+)
+
+#: Methods on a known ``open(...)``-assigned instance attr that block.
+#: ``close`` is deliberately absent: closing a sink during shutdown is
+#: a one-off, not a per-request stall.
+FILE_HANDLE_METHODS = frozenset(
+    {"write", "writelines", "read", "readline", "readlines", "flush", "seek", "truncate"}
+)
+
+#: Container method names that mutate in place (REP104 write detection).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "add",
+        "discard",
+    }
+)
+
+
+def _suppressed(ctx: FileContext, node: ast.AST, code: str) -> bool:
+    start = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", None) or start
+    return any(ctx.suppressed(line, code) for line in range(start, end + 1))
+
+
+def _ctx_for(project: Project, function: FunctionInfo) -> FileContext:
+    return project.modules[function.module].ctx
+
+
+def _short(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+# -- blocking primitives ----------------------------------------------------
+
+
+def _direct_blocking(
+    project: Project, function: FunctionInfo
+) -> list[tuple[ast.Call, str]]:
+    """Blocking primitives appearing directly in a function's body."""
+    info = project.modules[function.module]
+    found: list[tuple[ast.Call, str]] = []
+    handles = (
+        project.file_handles.get(function.class_qualname, set())
+        if function.class_qualname
+        else set()
+    )
+    for node in iter_own_nodes(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open" and func.id not in info.aliases:
+                found.append((node, "open()"))
+                continue
+            alias = info.aliases.get(func.id)
+            if alias is not None and alias[1] in BLOCKING_DOTTED:
+                found.append((node, f"{alias[1]}()"))
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        value = func.value
+        if isinstance(value, ast.Name):
+            dotted = f"{value.id}.{func.attr}"
+            alias = info.aliases.get(value.id)
+            base = alias[1] if alias is not None else value.id
+            if f"{base}.{func.attr}" in BLOCKING_DOTTED or dotted in BLOCKING_DOTTED:
+                found.append((node, f"{base}.{func.attr}()"))
+                continue
+        if (
+            func.attr in FILE_HANDLE_METHODS
+            and isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and value.attr in handles
+        ):
+            found.append((node, f"self.{value.attr}.{func.attr}() [open file handle]"))
+            continue
+        if func.attr in PATH_BLOCKING_ATTRS and not (
+            isinstance(value, ast.Name) and value.id in info.aliases
+        ):
+            found.append((node, f".{func.attr}() [filesystem]"))
+            continue
+        if func.attr == "result" and not node.args and not node.keywords:
+            found.append((node, ".result() [synchronous Future wait]"))
+    return found
+
+
+def _same_context_targets(project: Project, site: CallSite) -> list[str]:
+    """Targets of a site that run in the caller's thread/loop context."""
+    caller = project.functions[site.caller]
+    targets = []
+    for target in site.targets:
+        info = project.functions.get(target)
+        if info is None:
+            continue
+        if info.is_async and not (caller.is_async and (site.awaited or site.spawned)):
+            continue
+        targets.append(target)
+    return targets
+
+
+def _blocking_closure(
+    project: Project, direct: dict[str, list[tuple[ast.Call, str]]]
+) -> tuple[set[str], dict[str, tuple[str, str]]]:
+    """Fixpoint of "calls something blocking on the same thread".
+
+    Returns the blocked set and, for chain reconstruction, each blocked
+    function's first blocked callee (or its own primitive description).
+    """
+    blocked = {q for q, prims in direct.items() if prims}
+    changed = True
+    while changed:
+        changed = False
+        for qualname in project.functions:
+            if qualname in blocked:
+                continue
+            for site in project.calls.get(qualname, ()):
+                if any(
+                    t in blocked for t in _same_context_targets(project, site)
+                ):
+                    blocked.add(qualname)
+                    changed = True
+                    break
+    next_hop: dict[str, tuple[str, str]] = {}
+    for qualname in blocked:
+        if direct.get(qualname):
+            continue
+        for site in sorted(
+            project.calls.get(qualname, ()), key=lambda s: (s.lineno, s.col)
+        ):
+            hops = [
+                t for t in _same_context_targets(project, site) if t in blocked
+            ]
+            if hops:
+                next_hop[qualname] = (hops[0], "")
+                break
+    return blocked, next_hop
+
+
+def _chain_text(
+    project: Project,
+    start: str,
+    direct: dict[str, list[tuple[ast.Call, str]]],
+    next_hop: dict[str, tuple[str, str]],
+) -> str:
+    names = [_short(start)]
+    current = start
+    seen = {start}
+    while not direct.get(current):
+        hop = next_hop.get(current)
+        if hop is None or hop[0] in seen:
+            return " -> ".join(names)
+        current = hop[0]
+        seen.add(current)
+        names.append(_short(current))
+    prim = direct[current][0][1]
+    return " -> ".join(names) + f": {prim}"
+
+
+# -- rules ------------------------------------------------------------------
+
+
+def _check_blocking(project: Project) -> Iterator[LintFinding]:
+    direct = {
+        q: _direct_blocking(project, f) for q, f in project.functions.items()
+    }
+    blocked, next_hop = _blocking_closure(project, direct)
+    for qualname in sorted(project.functions):
+        function = project.functions[qualname]
+        if not function.is_async:
+            continue
+        ctx = _ctx_for(project, function)
+        for node, desc in direct[qualname]:
+            if _suppressed(ctx, node, "REP101"):
+                continue
+            yield LintFinding(
+                function.path,
+                node.lineno,
+                node.col_offset,
+                "REP101",
+                f"blocking call {desc} in async function '{function.name}' "
+                "stalls the event loop; move it behind run_in_executor",
+            )
+        for site in project.calls.get(qualname, ()):
+            hops = [
+                t for t in _same_context_targets(project, site) if t in blocked
+            ]
+            if not hops:
+                continue
+            if _suppressed(ctx, site.node, "REP101"):
+                continue
+            chain = _chain_text(project, hops[0], direct, next_hop)
+            yield LintFinding(
+                function.path,
+                site.lineno,
+                site.col,
+                "REP101",
+                f"async function '{function.name}' reaches a blocking call "
+                f"({_short(qualname)} -> {chain}); move the blocking work "
+                "behind run_in_executor",
+            )
+
+
+def _check_fire_and_forget(project: Project) -> Iterator[LintFinding]:
+    for qualname in sorted(project.functions):
+        function = project.functions[qualname]
+        ctx = _ctx_for(project, function)
+        for node in iter_own_nodes(function.node):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            call = node.value
+            func = call.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else getattr(func, "id", "")
+            )
+            if name not in {"create_task", "ensure_future"}:
+                continue
+            if _suppressed(ctx, node, "REP102"):
+                continue
+            yield LintFinding(
+                function.path,
+                node.lineno,
+                node.col_offset,
+                "REP102",
+                f"{name}(...) result is dropped: the event loop keeps only a "
+                "weak reference, so the task can be garbage-collected "
+                "mid-flight and its exception silently lost; retain the task "
+                "(e.g. in a set with a done-callback discard)",
+            )
+
+
+def _check_unawaited(project: Project) -> Iterator[LintFinding]:
+    for qualname in sorted(project.functions):
+        function = project.functions[qualname]
+        ctx = _ctx_for(project, function)
+        for site in project.calls.get(qualname, ()):
+            if not site.confident or site.awaited or site.spawned:
+                continue
+            infos = [project.functions[t] for t in site.targets if t in project.functions]
+            if not infos or not all(info.is_async for info in infos):
+                continue
+            # Only statement-level calls: a coroutine bound to a name
+            # may legitimately be awaited/scheduled later.
+            if not _is_statement_call(function.node, site.node):
+                continue
+            if _suppressed(ctx, site.node, "REP103"):
+                continue
+            yield LintFinding(
+                function.path,
+                site.lineno,
+                site.col,
+                "REP103",
+                f"'{_short(site.targets[0])}' is an async def: calling it "
+                "creates a coroutine that is never awaited (the body never "
+                "runs); await it or schedule it with create_task",
+            )
+
+
+def _is_statement_call(fn_node: ast.AST, call: ast.Call) -> bool:
+    for node in iter_own_nodes(fn_node):
+        if isinstance(node, ast.Expr) and node.value is call:
+            return True
+    return False
+
+
+def _binds_locally(fn_node: ast.AST, name: str) -> bool:
+    """True when ``name`` is a local inside the function (param or plain
+    assignment) and not declared ``global``."""
+    args = getattr(fn_node, "args", None)
+    if args is not None:
+        all_args = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        if any(a.arg == name for a in all_args):
+            return True
+    declared_global = False
+    bound = False
+    for node in iter_own_nodes(fn_node):
+        if isinstance(node, ast.Global) and name in node.names:
+            declared_global = True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    bound = True
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    bound = True
+    return bound and not declared_global
+
+
+def _under_lock(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                for sub in ast.walk(item.context_expr):
+                    text = None
+                    if isinstance(sub, ast.Name):
+                        text = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        text = sub.attr
+                    if text is not None and "lock" in text.lower():
+                        return True
+        current = parents.get(current)
+    return False
+
+
+def _own_parent_map(fn_node: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    stack = [fn_node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                stack.append(child)
+    return parents
+
+
+def _global_writes(
+    fn_node: ast.AST, name: str, parents: dict[ast.AST, ast.AST]
+) -> list[tuple[ast.AST, bool]]:
+    """(node, locked) pairs mutating module global ``name`` in place.
+
+    Plain ``name = value`` rebinds are excluded: swapping a reference is
+    atomic under the GIL and is the codebase's sanctioned pattern for
+    publishing fresh state.
+    """
+    writes: list[tuple[ast.AST, bool]] = []
+    for node in iter_own_nodes(fn_node):
+        hit = False
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name
+                ):
+                    hit = True
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == name:
+                hit = True
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == name
+            ):
+                hit = True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                hit = True
+        elif isinstance(node, (ast.Delete,)):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name
+                ):
+                    hit = True
+        if hit:
+            writes.append((node, _under_lock(node, parents)))
+    return writes
+
+
+def _reads_global(fn_node: ast.AST, name: str) -> bool:
+    for node in iter_own_nodes(fn_node):
+        if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Load):
+            return True
+    return False
+
+
+def _check_shared_state(project: Project) -> Iterator[LintFinding]:
+    loop = project.loop_reachable()
+    # Module globals: mutated off-loop without a lock + accessed on-loop.
+    for module in sorted(project.modules):
+        info = project.modules[module]
+        names = {**info.container_globals, **info.int_globals}
+        if not names:
+            continue
+        members = [
+            f for f in project.functions.values() if f.module == module
+        ]
+        for name in sorted(names):
+            loop_accessors = [
+                f
+                for f in members
+                if f.qualname in loop
+                and not _binds_locally(f.node, name)
+                and _reads_global(f.node, name)
+            ]
+            if not loop_accessors:
+                continue
+            for function in members:
+                if function.qualname in loop:
+                    continue
+                if _binds_locally(function.node, name):
+                    continue
+                parents = _own_parent_map(function.node)
+                unlocked = [
+                    node
+                    for node, locked in _global_writes(function.node, name, parents)
+                    if not locked
+                ]
+                if not unlocked:
+                    continue
+                node = min(unlocked, key=lambda n: (n.lineno, n.col_offset))
+                if _suppressed(info.ctx, node, "REP104"):
+                    continue
+                yield LintFinding(
+                    function.path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP104",
+                    f"module state '{name}' is mutated in '{function.name}()' "
+                    "(runs off the event loop) without a lock while "
+                    f"'{loop_accessors[0].name}()' reads it from event-loop "
+                    "context; guard both sides with a threading.Lock",
+                )
+    # Instance attrs: thread-entry method writes self.X, loop method reads it.
+    thread = project.thread_reachable()
+    by_class: dict[str, list[FunctionInfo]] = {}
+    for function in project.functions.values():
+        if function.class_qualname is not None:
+            by_class.setdefault(function.class_qualname, []).append(function)
+    for class_qualname in sorted(by_class):
+        methods = by_class[class_qualname]
+        thread_methods = [
+            m for m in methods if m.qualname in thread and m.qualname not in loop
+        ]
+        loop_methods = [m for m in methods if m.qualname in loop]
+        if not thread_methods or not loop_methods:
+            continue
+        for method in thread_methods:
+            parents = _own_parent_map(method.node)
+            for node in iter_own_nodes(method.node):
+                attr = _self_attr_mutation(node)
+                if attr is None or _under_lock(node, parents):
+                    continue
+                readers = [
+                    m for m in loop_methods if _reads_self_attr(m.node, attr)
+                ]
+                if not readers:
+                    continue
+                ctx = _ctx_for(project, method)
+                if _suppressed(ctx, node, "REP104"):
+                    continue
+                yield LintFinding(
+                    method.path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP104",
+                    f"'self.{attr}' is mutated in thread-entry method "
+                    f"'{method.name}()' without a lock while "
+                    f"'{readers[0].name}()' reads it on the event loop; "
+                    "guard both sides with a threading.Lock",
+                )
+
+
+def _self_attr_mutation(node: ast.AST) -> str | None:
+    def is_self_attr(expr: ast.AST) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    if isinstance(node, ast.AugAssign):
+        return is_self_attr(node.target)
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = is_self_attr(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            return is_self_attr(func.value)
+    return None
+
+
+def _reads_self_attr(fn_node: ast.AST, attr: str) -> bool:
+    for node in iter_own_nodes(fn_node):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _check_contextvars(project: Project) -> Iterator[LintFinding]:
+    for qualname in sorted(project.functions):
+        function = project.functions[qualname]
+        info = project.modules[function.module]
+        ctx = info.ctx
+        sets: list[tuple[ast.Call, str, str]] = []
+        resets: set[str] = set()
+        for node in iter_own_nodes(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            tracked: str | None = None
+            if isinstance(base, ast.Name) and base.id in info.contextvars:
+                tracked = base.id
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and function.class_qualname is not None
+                and (function.class_qualname, base.attr) in project.attr_contextvars
+            ):
+                tracked = f"self.{base.attr}"
+            if tracked is None:
+                continue
+            if func.attr == "set":
+                sets.append((node, tracked, ast.dump(base)))
+            elif func.attr == "reset":
+                resets.add(ast.dump(base))
+        for node, label, key in sets:
+            if key in resets:
+                continue
+            if _suppressed(ctx, node, "REP105"):
+                continue
+            yield LintFinding(
+                function.path,
+                node.lineno,
+                node.col_offset,
+                "REP105",
+                f"{label}.set(...) in '{function.name}()' has no paired "
+                "reset in the same function: the binding leaks into "
+                "subsequent tasks/requests sharing the context; keep the "
+                "token and reset in a finally block",
+            )
+
+
+def run_concurrency(project: Project) -> list[LintFinding]:
+    """Run every REP1xx rule over a built project."""
+    findings = list(project.syntax_errors)
+    findings.extend(_check_blocking(project))
+    findings.extend(_check_fire_and_forget(project))
+    findings.extend(_check_unawaited(project))
+    findings.extend(_check_shared_state(project))
+    findings.extend(_check_contextvars(project))
+    return sorted(set(findings), key=lambda f: f.sort_key)

@@ -108,7 +108,12 @@ class LintRule:
         for node, message in self.check(tree, ctx):
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
-            if ctx.suppressed(line, self.code):
+            # A statement may span lines (parenthesised calls, implicit
+            # string concatenation); a noqa comment anywhere in its
+            # extent suppresses it, matching where a formatter may have
+            # pushed the comment.
+            end = getattr(node, "end_lineno", None) or line
+            if any(ctx.suppressed(n, self.code) for n in range(line, end + 1)):
                 continue
             yield LintFinding(ctx.path, line, col, self.code, message)
 

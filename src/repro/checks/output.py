@@ -1,0 +1,121 @@
+"""Machine-readable output for ``repro check``: JSON and SARIF 2.1.0.
+
+The JSON document is the stable programmatic surface (CI scripts,
+dashboards); SARIF is the interchange format code-review UIs ingest.
+Both carry the full rule metadata table so consumers can render
+summaries without importing this package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.checks.lint import LintFinding
+
+__all__ = ["RULE_INDEX", "to_json", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_index() -> dict[str, tuple[str, str]]:
+    """code -> (name, summary) over every registered rule family."""
+    from repro.checks.concurrency import CONCURRENCY_RULES
+    from repro.checks.contracts import CONTRACT_RULES
+    from repro.checks.rules import ALL_RULES
+
+    index: dict[str, tuple[str, str]] = {
+        "REP000": ("syntax-error", "file failed to parse"),
+    }
+    for rule_cls in ALL_RULES:
+        index[rule_cls.code] = (rule_cls.name, rule_cls.summary)
+    index.update(CONCURRENCY_RULES)
+    index.update(CONTRACT_RULES)
+    return index
+
+
+def RULE_INDEX() -> dict[str, tuple[str, str]]:
+    return _rule_index()
+
+
+def to_json(
+    findings: Iterable[LintFinding], summary: Mapping[str, object] | None = None
+) -> str:
+    findings = sorted(findings, key=lambda f: f.sort_key)
+    index = _rule_index()
+    document = {
+        "version": 1,
+        "summary": dict(summary or {}),
+        "rules": {
+            code: {"name": name, "summary": text}
+            for code, (name, text) in sorted(index.items())
+        },
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "name": index.get(f.code, (f.code, ""))[0],
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def to_sarif(findings: Iterable[LintFinding]) -> str:
+    findings = sorted(findings, key=lambda f: f.sort_key)
+    index = _rule_index()
+    used_codes = sorted({f.code for f in findings} | set(index))
+    rules = [
+        {
+            "id": code,
+            "name": index.get(code, (code, ""))[0],
+            "shortDescription": {"text": index.get(code, (code, ""))[1] or code},
+        }
+        for code in used_codes
+    ]
+    rule_order = {code: position for position, code in enumerate(used_codes)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_order[f.code],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "https://example.invalid/repro-checks",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

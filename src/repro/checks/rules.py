@@ -1,4 +1,4 @@
-"""The determinism & fidelity rules (REP001..REP010).
+"""The determinism & fidelity rules (REP001..REP011).
 
 Each rule encodes one way a simulator silently stops being reproducible
 or faithful to the modelled hardware:
@@ -16,6 +16,7 @@ code        name                    catches
 ``REP008``  fs-iteration-order      ``os.listdir``/``glob`` without ``sorted``
 ``REP009``  builtin-hash            ``hash()`` (PYTHONHASHSEED-dependent)
 ``REP010``  identity-ordering       ``id()`` (address-dependent values)
+``REP011``  noqa-justification      blanket ``# noqa`` / unjustified REP noqa
 ==========  ======================  ==========================================
 
 The bit-width rule folds shift amounts over the declared widths of
@@ -27,9 +28,12 @@ runtime sanitizer checks stored values against), so e.g.
 from __future__ import annotations
 
 import ast
+import io
+import re
+import tokenize
 from typing import Iterator
 
-from repro.checks.lint import FileContext, LintRule
+from repro.checks.lint import FileContext, LintFinding, LintRule
 from repro.storage.bits import DECLARED_FIELD_WIDTHS, MAX_MODEL_BITS
 
 __all__ = ["ALL_RULES"]
@@ -580,6 +584,73 @@ class IdentityOrderingRule(LintRule):
                 )
 
 
+class NoqaJustificationRule(LintRule):
+    """REP011: suppressions must name their codes and justify REP ones.
+
+    A blanket ``# noqa`` silences every current *and future* rule on
+    its line -- the gate quietly stops gating.  And a bare
+    ``# noqa: REP101`` records *that* a determinism/concurrency rule
+    was overridden but not *why*, which is the part the next reader
+    needs.  The required shape is the repo's existing idiom::
+
+        risky_call()  # noqa: REP101 - sink is stdout, loop not running
+
+    Non-REP codes (ruff's) may omit the justification; this rule only
+    polices the repo's own rule family.  As a meta-rule it inspects
+    comment *tokens* (docstrings quoting ``# noqa`` are not comments)
+    and deliberately ignores suppression -- a noqa cannot excuse
+    itself.
+    """
+
+    code = "REP011"
+    name = "noqa-justification"
+    summary = "blanket # noqa, or a REPxxx suppression without a justification"
+
+    _justified = re.compile(r"^\s*[-–—]\s*\S")
+
+    def run(self, tree: ast.Module, ctx: FileContext) -> Iterator[LintFinding]:
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(ctx.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        from repro.checks.lint import _NOQA_RE
+
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start
+            codes_text = match.group("codes")
+            if not codes_text:
+                yield LintFinding(
+                    ctx.path,
+                    line,
+                    col,
+                    self.code,
+                    "blanket '# noqa' suppresses every current and future "
+                    "rule on this line; list the specific codes "
+                    "('# noqa: REP001,REP007')",
+                )
+                continue
+            codes = {c.strip().upper() for c in codes_text.split(",") if c.strip()}
+            if not any(c.startswith("REP") for c in codes):
+                continue
+            remainder = token.string[match.end():]
+            if not self._justified.match(remainder):
+                yield LintFinding(
+                    ctx.path,
+                    line,
+                    col,
+                    self.code,
+                    "suppressing a REP rule needs a justification on the "
+                    "same comment ('# noqa: REP101 - why this is safe')",
+                )
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     UnseededRandomRule,
     SetIterationRule,
@@ -591,4 +662,5 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     FsIterationOrderRule,
     BuiltinHashRule,
     IdentityOrderingRule,
+    NoqaJustificationRule,
 )

@@ -160,29 +160,132 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    """Front door for both engines: lint and/or a sanitized simulation.
+def _checks_root(paths: list[str]) -> "os.PathLike | None":
+    """The repo root above the checked paths: the nearest ancestor with
+    a README.md (where the baseline file and knob docs live)."""
+    from pathlib import Path
 
-    With no engine flag, lints (the cheap, always-applicable engine).
-    Exit status is 1 when either engine finds anything.
+    start = Path(paths[0]).resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "README.md").is_file():
+            return candidate
+    return None
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Front door for every engine: static passes and/or a sanitized
+    simulation.
+
+    ``--lint`` is the per-file AST pass, ``--concurrency`` the
+    interprocedural REP1xx pass over the project call graph,
+    ``--contracts`` the REP2xx knob/metric/event registry pass;
+    ``--all`` runs the three.  With no engine flag, lints (the cheap,
+    always-applicable engine).  Findings in the committed baseline
+    (``checks_baseline.json``) are tolerated; exit status is 1 only for
+    *new* findings (or any sanitizer violation).
     """
-    run_linter = args.lint or not args.sanitize
+    run_linter = args.lint or args.all or not (
+        args.concurrency or args.contracts or args.sanitize
+    )
+    run_concurrency_pass = args.concurrency or args.all
+    run_contracts_pass = args.contracts or args.all
     failed = False
-    if run_linter:
+    if run_linter or run_concurrency_pass or run_contracts_pass:
+        from pathlib import Path
+
+        from repro.checks.baseline import apply_baseline, load_baseline, write_baseline
         from repro.checks.lint import run_lint
 
         paths = args.paths
-        if not paths:
+        default_target = not paths
+        if default_target:
             # Default target: the installed repro package source itself.
             import repro
 
             paths = [os.path.dirname(os.path.abspath(repro.__file__))]
-        findings = run_lint(paths)
-        for finding in findings:
-            print(finding.format())
-        print(f"lint: {len(findings)} finding(s) in {len(paths)} path(s)",
-              file=sys.stderr)
-        failed |= bool(findings)
+        findings = []
+        passes = []
+        if run_linter:
+            findings.extend(run_lint(paths))
+            passes.append("lint")
+        if run_concurrency_pass or run_contracts_pass:
+            from repro.checks.callgraph import build_project
+
+            project = build_project(paths)
+            if run_concurrency_pass:
+                from repro.checks.concurrency import run_concurrency
+
+                findings.extend(run_concurrency(project))
+                passes.append("concurrency")
+            if run_contracts_pass:
+                from repro.checks.contracts import run_contracts
+
+                root = _checks_root(paths)
+                docs_text = None
+                if root is not None:
+                    docs_text = (root / "README.md").read_text()
+                    design_md = root / "DESIGN.md"
+                    if design_md.is_file():
+                        docs_text += design_md.read_text()
+                findings.extend(
+                    run_contracts(
+                        project,
+                        docs_text=docs_text,
+                        # Unused-knob detection (REP205) is only
+                        # meaningful over the whole package.
+                        check_unused=default_target,
+                    )
+                )
+                passes.append("contracts")
+        # The passes overlap on REP000 (syntax errors): dedup.
+        findings = sorted(set(findings), key=lambda f: f.sort_key)
+
+        root = _checks_root(paths)
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else (root / "checks_baseline.json" if root is not None else None)
+        )
+        if args.update_baseline:
+            if baseline_path is None:
+                print("check: no repo root found for the baseline file",
+                      file=sys.stderr)
+                return 2
+            write_baseline(baseline_path, findings, root)
+            print(f"check: baseline updated with {len(findings)} finding(s) "
+                  f"at {baseline_path}", file=sys.stderr)
+            return 0
+        baseline = load_baseline(baseline_path) if baseline_path else {}
+        new, stale = apply_baseline(findings, baseline, root)
+
+        if args.format == "text":
+            for finding in new:
+                print(finding.format())
+        else:
+            from repro.checks.output import to_json, to_sarif
+
+            summary = {
+                "passes": passes,
+                "findings": len(findings),
+                "baselined": len(findings) - len(new),
+                "new": len(new),
+                "stale_baseline_entries": len(stale),
+            }
+            document = (
+                to_json(new, summary) if args.format == "json" else to_sarif(new)
+            )
+            if args.output:
+                Path(args.output).write_text(document)
+            else:
+                sys.stdout.write(document)
+        print(f"check [{'+'.join(passes)}]: {len(findings)} finding(s) in "
+              f"{len(paths)} path(s); {len(findings) - len(new)} baselined, "
+              f"{len(new)} new", file=sys.stderr)
+        for entry in stale:
+            print(f"check: stale baseline entry (finding fixed?): {entry} "
+                  "-- run --update-baseline to shrink the baseline",
+                  file=sys.stderr)
+        failed |= bool(new)
     if args.sanitize:
         from repro.checks.sanitizer import (
             DEFAULT_CHECK_INTERVAL,
@@ -454,6 +557,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true",
         help="run the determinism linter (the default when no engine "
              "flag is given)",
+    )
+    check.add_argument(
+        "--concurrency", action="store_true",
+        help="run the interprocedural REP1xx concurrency pass "
+             "(call-graph reachability from async handlers)",
+    )
+    check.add_argument(
+        "--contracts", action="store_true",
+        help="run the REP2xx contract pass (knob registry, metric and "
+             "event catalogs)",
+    )
+    check.add_argument(
+        "--all", action="store_true",
+        help="run every static pass: lint + concurrency + contracts",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="findings output format (default: text)",
+    )
+    check.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write json/sarif findings to FILE instead of stdout",
+    )
+    check.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of tolerated findings "
+             "(default: checks_baseline.json at the repo root)",
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
     )
     check.add_argument(
         "--sanitize", metavar="APP", default=None,

@@ -43,6 +43,7 @@ import hashlib
 import itertools
 import json
 import os
+import threading
 import zipfile
 from pathlib import Path
 
@@ -95,6 +96,15 @@ _TELEMETRY = {
     "quarantined": 0,
 }
 
+#: Telemetry is bumped from serve worker threads and scheduler workers
+#: while the event loop reads it via ``disk_cache_info`` (REP104).
+_TELEMETRY_LOCK = threading.Lock()
+
+
+def _count(key: str) -> None:
+    with _TELEMETRY_LOCK:
+        _TELEMETRY[key] += 1
+
 
 def disk_cache_enabled() -> bool:
     """Persistence knob: ``REPRO_DISK_CACHE=0`` disables the disk cache."""
@@ -115,15 +125,17 @@ def cache_root() -> Path:
 
 def disk_cache_info() -> dict:
     """Disk-cache telemetry (hits / misses / stores / quarantines)."""
-    info = dict(_TELEMETRY)
+    with _TELEMETRY_LOCK:
+        info = dict(_TELEMETRY)
     info["enabled"] = disk_cache_enabled()
     info["root"] = str(cache_root())
     return info
 
 
 def reset_disk_telemetry() -> None:
-    for key in _TELEMETRY:
-        _TELEMETRY[key] = 0
+    with _TELEMETRY_LOCK:
+        for key in _TELEMETRY:
+            _TELEMETRY[key] = 0
 
 
 def clear_disk_cache() -> int:
@@ -238,7 +250,7 @@ def _atomic_write(path: Path, write) -> None:
 
 def _quarantine(path: Path) -> None:
     """Move a corrupt file aside so it stops shadowing the slot."""
-    _TELEMETRY["quarantined"] += 1
+    _count("quarantined")
     target = path.parent / f"{path.name}.corrupt-{os.getpid()}-{next(_COUNTER)}"
     try:
         os.replace(path, target)
@@ -301,7 +313,7 @@ def load_trace(spec: WorkloadSpec) -> Trace | None:
         return None
     path = _trace_path(spec)
     if not path.exists():
-        _TELEMETRY["trace_misses"] += 1
+        _count("trace_misses")
         return None
     try:
         try:
@@ -324,9 +336,9 @@ def load_trace(spec: WorkloadSpec) -> Trace | None:
         )
     except Exception:
         _quarantine(path)
-        _TELEMETRY["trace_misses"] += 1
+        _count("trace_misses")
         return None
-    _TELEMETRY["trace_hits"] += 1
+    _count("trace_hits")
     return trace
 
 
@@ -343,7 +355,7 @@ def store_trace(spec: WorkloadSpec, trace: Trace) -> None:
             )
 
     _atomic_write(_trace_path(spec), write)
-    _TELEMETRY["stores"] += 1
+    _count("stores")
 
 
 # -- results -----------------------------------------------------------------
@@ -365,7 +377,7 @@ def load_result(key: str) -> FrontendStats | None:
         return None
     path = _result_path(key)
     if not path.exists():
-        _TELEMETRY["result_misses"] += 1
+        _count("result_misses")
         obs_events.emit("disk-result", key=key, hit=False)
         return None
     try:
@@ -375,10 +387,10 @@ def load_result(key: str) -> FrontendStats | None:
         stats = FrontendStats(**payload["stats"])
     except Exception:
         _quarantine(path)
-        _TELEMETRY["result_misses"] += 1
+        _count("result_misses")
         obs_events.emit("disk-result", key=key, hit=False)
         return None
-    _TELEMETRY["result_hits"] += 1
+    _count("result_hits")
     obs_events.emit("disk-result", key=key, hit=True)
     return stats
 
@@ -396,4 +408,4 @@ def store_result(key: str, stats: FrontendStats) -> None:
         tmp.write_text(json.dumps(payload, sort_keys=True))
 
     _atomic_write(_result_path(key), write)
-    _TELEMETRY["stores"] += 1
+    _count("stores")

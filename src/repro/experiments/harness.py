@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -45,6 +46,10 @@ _CACHE_MISSES = 0
 #: the report's telemetry appendix ranks these.
 _RUN_SECONDS: dict[tuple[str, str], float] = {}
 
+#: Memo state is written by serve worker threads while the event loop
+#: reads ``cache_info`` on ``/v1/stats`` (REP104).
+_CACHE_LOCK = threading.Lock()
+
 
 def cache_enabled() -> bool:
     """Memoisation knob: ``REPRO_RESULT_CACHE=0`` disables the cache
@@ -54,12 +59,14 @@ def cache_enabled() -> bool:
 
 def cache_info() -> dict:
     """Memo-cache telemetry: hits / misses / size / hit rate."""
-    lookups = _CACHE_HITS + _CACHE_MISSES
+    with _CACHE_LOCK:
+        hits, misses, size = _CACHE_HITS, _CACHE_MISSES, len(_RESULT_CACHE)
+    lookups = hits + misses
     return {
-        "hits": _CACHE_HITS,
-        "misses": _CACHE_MISSES,
-        "size": len(_RESULT_CACHE),
-        "hit_rate": _CACHE_HITS / lookups if lookups else 0.0,
+        "hits": hits,
+        "misses": misses,
+        "size": size,
+        "hit_rate": hits / lookups if lookups else 0.0,
         "enabled": cache_enabled(),
     }
 
@@ -67,15 +74,17 @@ def cache_info() -> dict:
 def clear_cache() -> None:
     """Drop all memoised simulation results and telemetry (tests use this)."""
     global _CACHE_HITS, _CACHE_MISSES
-    _RESULT_CACHE.clear()
-    _RUN_SECONDS.clear()
-    _CACHE_HITS = 0
-    _CACHE_MISSES = 0
+    with _CACHE_LOCK:
+        _RESULT_CACHE.clear()
+        _RUN_SECONDS.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
 
 
 def slowest_runs(n: int = 5) -> list[tuple[str, str, float]]:
     """The ``n`` slowest fresh simulations seen so far, slowest first."""
-    ranked = sorted(_RUN_SECONDS.items(), key=lambda item: -item[1])
+    with _CACHE_LOCK:
+        ranked = sorted(_RUN_SECONDS.items(), key=lambda item: -item[1])
     return [(app, design, seconds) for (app, design), seconds in ranked[:n]]
 
 
@@ -93,14 +102,17 @@ def run_design(
     use_cache = cache_enabled()
     key = (trace_name, scale, design.key, params, warmup_fraction)
     if use_cache:
-        cached = _RESULT_CACHE.get(key)
+        with _CACHE_LOCK:
+            cached = _RESULT_CACHE.get(key)
+            if cached is not None:
+                _CACHE_HITS += 1
         if cached is not None:
-            _CACHE_HITS += 1
             registry.counter(
                 "harness_result_cache_total", "memo-cache lookups by outcome"
             ).inc(outcome="hit")
             return cached
-    _CACHE_MISSES += 1
+    with _CACHE_LOCK:
+        _CACHE_MISSES += 1
     # Below the memo: the cross-process disk cache.  A disk hit is still
     # a memo miss for cache_info(), but costs no simulation -- the
     # registry counter's "miss" outcome therefore counts *fresh runs*.
@@ -112,7 +124,8 @@ def run_design(
         )
         stats = diskcache.load_result(disk_key)
         if stats is not None:
-            _RESULT_CACHE[key] = stats
+            with _CACHE_LOCK:
+                _RESULT_CACHE[key] = stats
             registry.counter(
                 "harness_result_cache_total", "memo-cache lookups by outcome"
             ).inc(outcome="disk-hit")
@@ -130,7 +143,8 @@ def run_design(
         with tracer.span("warmup+measure", app=trace_name, design=design.key):
             stats = simulator.run(trace, warmup_fraction=warmup_fraction)
     elapsed = time.perf_counter() - started
-    _RUN_SECONDS[(trace_name, design.key)] = elapsed
+    with _CACHE_LOCK:
+        _RUN_SECONDS[(trace_name, design.key)] = elapsed
     registry.histogram(
         "harness_simulation_seconds", "wall seconds per fresh simulation"
     ).observe(elapsed, design=design.key, scale=scale)
@@ -139,7 +153,8 @@ def run_design(
         seconds=round(elapsed, 6),
     )
     if use_cache:
-        _RESULT_CACHE[key] = stats
+        with _CACHE_LOCK:
+            _RESULT_CACHE[key] = stats
         if disk_key is not None:
             diskcache.store_result(disk_key, stats)
     return stats
@@ -186,7 +201,8 @@ def lookup_cached(
     if not cache_enabled():
         return None, "miss"
     key = (trace_name, scale, design.key, params, warmup_fraction)
-    cached = _RESULT_CACHE.get(key)
+    with _CACHE_LOCK:
+        cached = _RESULT_CACHE.get(key)
     if cached is not None:
         obs_events.emit(
             "cache-lookup", layer="memo", app=trace_name,
@@ -200,7 +216,8 @@ def lookup_cached(
         )
         stats = diskcache.load_result(disk_key)
         if stats is not None:
-            _RESULT_CACHE[key] = stats
+            with _CACHE_LOCK:
+                _RESULT_CACHE[key] = stats
             obs_events.emit(
                 "cache-lookup", layer="disk", app=trace_name,
                 design=design.key, hit=True,
@@ -231,7 +248,8 @@ def adopt_result(
     if not cache_enabled():
         return
     scale = scale or current_scale()
-    _RESULT_CACHE[(trace_name, scale, design.key, params, warmup_fraction)] = stats
+    with _CACHE_LOCK:
+        _RESULT_CACHE[(trace_name, scale, design.key, params, warmup_fraction)] = stats
 
 
 def _find_spec(trace_name: str, scale: str):
@@ -380,7 +398,9 @@ def _prefill_cache_scheduled(
     for design in designs:
         for spec in build_suite(scale):
             key = (spec.name, scale, design.key, params[design.key], warmup_fraction)
-            if key in _RESULT_CACHE:
+            with _CACHE_LOCK:
+                present = key in _RESULT_CACHE
+            if present:
                 skip.add((spec.name, design.key))
     report = scheduler.run_grid(
         designs,
@@ -392,10 +412,11 @@ def _prefill_cache_scheduled(
     )
     for (trace_name, design_key), stats in report.merged.items():
         key = (trace_name, scale, design_key, params[design_key], warmup_fraction)
-        _RESULT_CACHE[key] = stats
-        _RUN_SECONDS[(trace_name, design_key)] = report.group_seconds.get(
-            (trace_name, design_key), 0.0
-        )
+        with _CACHE_LOCK:
+            _RESULT_CACHE[key] = stats
+            _RUN_SECONDS[(trace_name, design_key)] = report.group_seconds.get(
+                (trace_name, design_key), 0.0
+            )
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

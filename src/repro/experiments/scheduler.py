@@ -50,6 +50,7 @@ import heapq
 import itertools
 import json
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -276,30 +277,39 @@ _SESSION_FAILURES: list[TaskFailure] = []
 #: simulates; ``/v1/stats`` republishes them.
 _SESSION_COUNTERS: dict[str, int] = {}
 
+#: Counters/failures are written by serve worker threads running sweeps
+#: while the event loop republishes them on ``/v1/stats`` (REP104).
+_SESSION_LOCK = threading.Lock()
+
 
 def session_counters() -> dict[str, int]:
     """Task counters summed over every ``run_grid`` call so far."""
-    return dict(_SESSION_COUNTERS)
+    with _SESSION_LOCK:
+        return dict(_SESSION_COUNTERS)
 
 
 def reset_session_counters() -> None:
-    _SESSION_COUNTERS.clear()
+    with _SESSION_LOCK:
+        _SESSION_COUNTERS.clear()
 
 
 def _accumulate_session_counters(counters: dict[str, int]) -> None:
-    for name, value in counters.items():
-        _SESSION_COUNTERS[name] = _SESSION_COUNTERS.get(name, 0) + value
+    with _SESSION_LOCK:
+        for name, value in counters.items():
+            _SESSION_COUNTERS[name] = _SESSION_COUNTERS.get(name, 0) + value
 
 
 def drain_failures() -> list[TaskFailure]:
     """Return-and-clear the session's accumulated failures."""
-    failures = list(_SESSION_FAILURES)
-    _SESSION_FAILURES.clear()
+    with _SESSION_LOCK:
+        failures = list(_SESSION_FAILURES)
+        _SESSION_FAILURES.clear()
     return failures
 
 
 def peek_failures() -> list[TaskFailure]:
-    return list(_SESSION_FAILURES)
+    with _SESSION_LOCK:
+        return list(_SESSION_FAILURES)
 
 
 # -- workers -----------------------------------------------------------------
@@ -549,7 +559,8 @@ class _Sweep:
             attempts=attempts,
         )
         self.failures.append(failure)
-        _SESSION_FAILURES.append(failure)
+        with _SESSION_LOCK:
+            _SESSION_FAILURES.append(failure)
         self.log(
             {
                 "event": "task",

@@ -19,9 +19,11 @@ Design constraints (matching ``repro.obs.metrics``):
   ``dropped`` counter records the loss honestly.  An optional JSONL
   sink persists *every* record (one JSON object per line) for offline
   aggregation (:mod:`repro.obs.aggregate`);
-* **thread-safe** -- one lock serialises ring appends and sink writes;
-  the serving layer emits from the asyncio loop thread and from batch
-  worker threads concurrently.
+* **thread-safe and non-blocking** -- one lock serialises ring appends;
+  sink records go through an unbounded queue to a dedicated writer
+  thread, so emitters (including the asyncio loop thread -- the serve
+  handlers emit per hop) never wait on file I/O.  :meth:`close` drains
+  the queue before closing, so nothing buffered is lost.
 
 Correlation ids travel two ways: explicitly (``emit(..., rid=...)``
 where the caller knows the request) and via **context binding**
@@ -37,6 +39,7 @@ import contextvars
 import itertools
 import json
 import os
+import queue
 import threading
 import time
 from collections import deque
@@ -97,6 +100,10 @@ def current_rids() -> tuple[str, ...]:
     return _BOUND_RIDS.get()
 
 
+#: Queue sentinel telling the sink writer thread to drain and exit.
+_SINK_CLOSE = object()
+
+
 class EventLog:
     """Recording log: bounded ring plus an optional JSONL file sink."""
 
@@ -115,7 +122,34 @@ class EventLog:
         self._lock = threading.Lock()
         self._emitted = 0
         self._dropped = 0
+        self._closed = False
         self._sink = open(sink_path, "a") if sink_path else None
+        # Sink writes happen on a dedicated thread: ``emit`` runs on the
+        # asyncio loop (serve hop events), and a synchronous
+        # write+flush per record would stall every request behind disk
+        # latency.  The queue is unbounded -- the sink exists to keep
+        # *everything* the ring drops -- and ``close`` drains it.
+        self._sink_queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._writer: threading.Thread | None = None
+        if self._sink is not None:
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="repro-events-writer", daemon=True
+            )
+            self._writer.start()
+
+    def _writer_loop(self) -> None:
+        sink = self._sink
+        while True:
+            record = self._sink_queue.get()
+            if record is _SINK_CLOSE:
+                break
+            sink.write(json.dumps(record, sort_keys=True))
+            sink.write("\n")
+            # Flush on queue drain rather than per record: bursts
+            # coalesce into one syscall, idle sinks stay current.
+            if self._sink_queue.empty():
+                sink.flush()
+        sink.flush()
 
     # -- recording ----------------------------------------------------------
 
@@ -133,10 +167,9 @@ class EventLog:
                 self._dropped += 1
             self._ring.append(record)
             self._emitted += 1
-            if self._sink is not None:
-                self._sink.write(json.dumps(record, sort_keys=True))
-                self._sink.write("\n")
-                self._sink.flush()
+            enqueue = self._sink is not None and not self._closed
+        if enqueue:
+            self._sink_queue.put(record)
         return record
 
     # -- introspection -------------------------------------------------------
@@ -186,11 +219,21 @@ class EventLog:
             self._dropped = 0
 
     def close(self) -> None:
-        """Flush and close the JSONL sink (idempotent)."""
+        """Drain the writer queue, flush and close the sink (idempotent)."""
         with self._lock:
-            if self._sink is not None:
-                self._sink.close()
-                self._sink = None
+            if self._closed:
+                return
+            self._closed = True
+            sink = self._sink
+        if sink is None:
+            return
+        self._sink_queue.put(_SINK_CLOSE)
+        if self._writer is not None:
+            self._writer.join(timeout=10.0)
+            self._writer = None
+        sink.close()
+        with self._lock:
+            self._sink = None
 
 
 class NullEventLog:

@@ -345,17 +345,17 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
-        factory = lambda: Counter(name, help)  # noqa: E731
+        factory = lambda: Counter(name, help)  # noqa: E731 - attr-carrying closure; def adds noise
         factory.cls = Counter
         return self._get(name, factory, help)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        factory = lambda: Gauge(name, help)  # noqa: E731
+        factory = lambda: Gauge(name, help)  # noqa: E731 - attr-carrying closure; def adds noise
         factory.cls = Gauge
         return self._get(name, factory, help)
 
     def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
-        factory = lambda: Histogram(name, help, buckets)  # noqa: E731
+        factory = lambda: Histogram(name, help, buckets)  # noqa: E731 - attr-carrying closure; def adds noise
         factory.cls = Histogram
         instrument = self._get(name, factory, help)
         if buckets is not None:

@@ -336,6 +336,10 @@ class SimulationService:
         self._design_keys = frozenset(design_registry())
         #: Bound port once listening (== config.port unless that was 0).
         self.port: int | None = None
+        #: Strong refs to in-flight batch-flush tasks: the event loop
+        #: only holds weak references, so an unreferenced task can be
+        #: garbage-collected mid-flight and its exception lost (REP102).
+        self._background: set[asyncio.Task] = set()
         self.counters: dict[str, Any] = {
             "requests_total": 0,
             "ok": 0,
@@ -412,7 +416,9 @@ class SimulationService:
         if batch is None or batch.closed:
             batch = _Batch(f"b{next(self._batch_seq):05d}", job.group_key)
             self._batches[job.group_key] = batch
-            asyncio.ensure_future(self._flush_batch(batch))
+            task = asyncio.ensure_future(self._flush_batch(batch))
+            self._background.add(task)
+            task.add_done_callback(self._background.discard)
         future: asyncio.Future = loop.create_future()
         batch.add(job, future, rid)
         self.events.emit(

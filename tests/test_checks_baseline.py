@@ -1,0 +1,171 @@
+"""Baseline ratchet semantics and the JSON/SARIF document shapes,
+plus the ``repro check`` CLI wiring over a scratch tree."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.checks.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.lint import LintFinding
+from repro.checks.output import to_json, to_sarif
+from repro.cli import main
+
+
+def _finding(path="src/repro/x.py", line=3, col=0, code="REP101", message="boom"):
+    return LintFinding(path, line, col, code, message)
+
+
+# -- fingerprints -----------------------------------------------------------
+
+
+def test_fingerprint_excludes_line_numbers():
+    assert fingerprint(_finding(line=3)) == fingerprint(_finding(line=300))
+
+
+def test_fingerprint_relativizes_against_root(tmp_path):
+    finding = _finding(path=str(tmp_path / "pkg" / "m.py"))
+    assert fingerprint(finding, tmp_path) == "pkg/m.py:REP101:boom"
+
+
+# -- load / write round trip ------------------------------------------------
+
+
+def test_missing_baseline_allows_nothing(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+
+
+def test_write_then_load_round_trips_counts(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [_finding(line=1), _finding(line=9), _finding(code="REP104")])
+    loaded = load_baseline(path)
+    assert loaded == {
+        "src/repro/x.py:REP101:boom": 2,
+        "src/repro/x.py:REP104:boom": 1,
+    }
+    document = json.loads(path.read_text())
+    assert document["version"] == 1
+
+
+# -- apply semantics --------------------------------------------------------
+
+
+def test_baselined_findings_are_tolerated_up_to_count():
+    baseline = {"src/repro/x.py:REP101:boom": 1}
+    new, stale = apply_baseline([_finding(line=5), _finding(line=9)], baseline)
+    # One occurrence tolerated (the earliest), the second is new.
+    assert [f.line for f in new] == [9]
+    assert stale == []
+
+
+def test_fixed_finding_reports_stale_entry():
+    baseline = {"src/repro/x.py:REP101:boom": 2}
+    new, stale = apply_baseline([_finding(line=5)], baseline)
+    assert new == []
+    assert stale == ["src/repro/x.py:REP101:boom"]
+
+
+def test_unrelated_finding_is_always_new():
+    baseline = {"src/repro/x.py:REP101:boom": 1}
+    new, _ = apply_baseline([_finding(code="REP202")], baseline)
+    assert [f.code for f in new] == ["REP202"]
+
+
+# -- JSON / SARIF shape -----------------------------------------------------
+
+
+def test_json_document_shape():
+    document = json.loads(to_json([_finding()], {"passes": ["concurrency"]}))
+    assert document["version"] == 1
+    assert document["summary"]["passes"] == ["concurrency"]
+    assert document["rules"]["REP101"]["name"] == "blocking-in-event-loop"
+    assert document["rules"]["REP201"]["name"] == "undeclared-knob"
+    (entry,) = document["findings"]
+    assert entry == {
+        "path": "src/repro/x.py",
+        "line": 3,
+        "col": 0,
+        "code": "REP101",
+        "name": "blocking-in-event-loop",
+        "message": "boom",
+    }
+
+
+def test_sarif_document_shape():
+    document = json.loads(to_sarif([_finding(col=4)]))
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-check"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert "REP101" in rule_ids and "REP204" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "REP101"
+    assert rule_ids[result["ruleIndex"]] == "REP101"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 3, "startColumn": 5}  # col is 1-based
+
+
+# -- CLI wiring over a scratch tree -----------------------------------------
+
+
+_BAD_TREE = """
+import time
+
+async def handler():
+    time.sleep(0.1)
+"""
+
+
+def _scratch_repo(tmp_path: Path) -> Path:
+    (tmp_path / "README.md").write_text("scratch\n")
+    pkg = tmp_path / "repro_scratch"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(textwrap.dedent(_BAD_TREE))
+    return pkg
+
+
+def test_cli_concurrency_pass_fails_on_seeded_bug(tmp_path, capsys):
+    pkg = _scratch_repo(tmp_path)
+    assert main(["check", "--concurrency", str(pkg)]) == 1
+    out = capsys.readouterr().out
+    assert "REP101" in out
+
+
+def test_cli_baseline_ratchet_and_update(tmp_path, capsys):
+    pkg = _scratch_repo(tmp_path)
+    baseline = tmp_path / "checks_baseline.json"
+    assert main(
+        ["check", "--concurrency", str(pkg), "--update-baseline",
+         "--baseline", str(baseline)]
+    ) == 0
+    # Baselined finding no longer fails the gate.
+    assert main(
+        ["check", "--concurrency", str(pkg), "--baseline", str(baseline)]
+    ) == 0
+    capsys.readouterr()
+    # Fixing the bug surfaces the stale entry (still exit 0).
+    (pkg / "mod.py").write_text("async def handler():\n    pass\n")
+    assert main(
+        ["check", "--concurrency", str(pkg), "--baseline", str(baseline)]
+    ) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_cli_sarif_output_file(tmp_path, capsys):
+    pkg = _scratch_repo(tmp_path)
+    out_path = tmp_path / "checks.sarif"
+    assert main(
+        ["check", "--concurrency", str(pkg), "--format", "sarif",
+         "--output", str(out_path)]
+    ) == 1
+    capsys.readouterr()
+    document = json.loads(out_path.read_text())
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]

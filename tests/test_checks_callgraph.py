@@ -1,0 +1,262 @@
+"""The interprocedural call graph: registration, edge resolution,
+async/thread context propagation, and the boundary/union heuristics."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.checks.callgraph import (
+    UNION_CAP,
+    Project,
+    build_project_from_sources,
+    module_name_for,
+)
+
+
+def _project(**sources: str) -> Project:
+    return build_project_from_sources(
+        {name.replace("_", "."): textwrap.dedent(src) for name, src in sources.items()}
+    )
+
+
+def _targets(project: Project, caller: str) -> set[str]:
+    return {
+        target
+        for site in project.calls.get(caller, ())
+        for target in site.targets
+    }
+
+
+# -- registration -----------------------------------------------------------
+
+
+def test_functions_and_methods_registered_with_qualnames():
+    project = _project(
+        repro_a="""
+        def helper():
+            pass
+
+        class Service:
+            async def handle(self):
+                pass
+
+            def sync_part(self):
+                pass
+        """
+    )
+    assert "repro.a.helper" in project.functions
+    assert "repro.a.Service.handle" in project.functions
+    assert project.functions["repro.a.Service.handle"].is_async
+    assert not project.functions["repro.a.Service.sync_part"].is_async
+    assert project.functions["repro.a.Service.handle"].class_qualname == "repro.a.Service"
+    assert project.async_roots() == ["repro.a.Service.handle"]
+
+
+def test_syntax_error_recorded_not_raised():
+    project = _project(repro_bad="def broken(:\n    pass\n")
+    assert project.modules == {}
+    assert len(project.syntax_errors) == 1
+    assert project.syntax_errors[0].code == "REP000"
+
+
+def test_module_name_for_derives_from_repro_tail():
+    assert module_name_for(Path("src/repro/serve/service.py")) == "repro.serve.service"
+    assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+    assert module_name_for(Path("scratch/tool.py")) == "tool"
+
+
+# -- edge resolution --------------------------------------------------------
+
+
+def test_same_module_name_call_resolves():
+    project = _project(
+        repro_a="""
+        def callee():
+            pass
+
+        def caller():
+            callee()
+        """
+    )
+    assert _targets(project, "repro.a.caller") == {"repro.a.callee"}
+
+
+def test_from_import_alias_resolves_cross_module():
+    project = _project(
+        repro_a="""
+        def work():
+            pass
+        """,
+        repro_b="""
+        from repro.a import work as w
+
+        def caller():
+            w()
+        """,
+    )
+    assert _targets(project, "repro.b.caller") == {"repro.a.work"}
+
+
+def test_self_method_call_resolves_to_enclosing_class():
+    project = _project(
+        repro_a="""
+        class Service:
+            def _step(self):
+                pass
+
+            def run_all(self):
+                self._step()
+        """
+    )
+    assert _targets(project, "repro.a.Service.run_all") == {"repro.a.Service._step"}
+
+
+def test_stdlib_alias_attribute_does_not_union():
+    project = _project(
+        repro_a="""
+        import json
+
+        def dumps():
+            pass
+
+        def caller():
+            json.dumps({})
+        """
+    )
+    # ``json`` is a known alias that is not a project module, so the
+    # call must NOT union-resolve into the local ``dumps``.
+    assert _targets(project, "repro.a.caller") == set()
+
+
+def test_union_deny_list_blocks_generic_method_names():
+    project = _project(
+        repro_a="""
+        class Table:
+            def update(self, pc):
+                pass
+        """,
+        repro_b="""
+        def caller(record):
+            record.update({})
+        """,
+    )
+    assert _targets(project, "repro.b.caller") == set()
+
+
+def test_union_resolution_caps_candidates():
+    mods = {
+        f"repro_m{i}": f"""
+        def rare_name():
+            pass
+        """
+        for i in range(UNION_CAP + 1)
+    }
+    mods["repro_caller"] = """
+    def caller(obj):
+        obj.rare_name()
+    """
+    project = _project(**mods)
+    assert _targets(project, "repro.caller.caller") == set()
+
+
+def test_union_resolution_is_not_confident():
+    project = _project(
+        repro_a="""
+        def rare_name():
+            pass
+
+        def caller(obj):
+            obj.rare_name()
+        """
+    )
+    (site,) = project.calls["repro.a.caller"]
+    assert site.targets == ("repro.a.rare_name",)
+    assert not site.confident
+
+
+# -- context propagation ----------------------------------------------------
+
+
+def test_sync_to_async_edge_requires_await():
+    project = _project(
+        repro_a="""
+        async def coro():
+            pass
+
+        def sync_caller():
+            coro()
+
+        async def async_caller():
+            await coro()
+        """
+    )
+    # Naming a coroutine from sync code does not run it on any path.
+    assert set(project.successors("repro.a.sync_caller")) == set()
+    assert set(project.successors("repro.a.async_caller")) == {"repro.a.coro"}
+    assert "repro.a.coro" in project.loop_reachable()
+
+
+def test_executor_boundary_registers_thread_root_without_edge():
+    project = _project(
+        repro_a="""
+        def blocking_work():
+            pass
+
+        async def handler(loop):
+            await loop.run_in_executor(None, blocking_work)
+        """
+    )
+    assert "repro.a.blocking_work" in project.thread_roots
+    assert _targets(project, "repro.a.handler") == set()
+    assert "repro.a.blocking_work" not in project.loop_reachable()
+    assert "repro.a.blocking_work" in project.thread_reachable()
+
+
+def test_thread_target_keyword_registers_thread_root():
+    project = _project(
+        repro_a="""
+        import threading
+
+        def worker_main():
+            pass
+
+        def start():
+            threading.Thread(target=worker_main, daemon=True).start()
+        """
+    )
+    assert "repro.a.worker_main" in project.thread_roots
+
+
+def test_loop_reachability_crosses_sync_helpers():
+    project = _project(
+        repro_a="""
+        def deep():
+            pass
+
+        def shallow():
+            deep()
+
+        async def handler():
+            shallow()
+        """
+    )
+    reachable = project.loop_reachable()
+    assert {"repro.a.handler", "repro.a.shallow", "repro.a.deep"} <= reachable
+
+
+def test_nested_defs_are_separate_scopes():
+    project = _project(
+        repro_a="""
+        def target():
+            pass
+
+        def outer():
+            def inner():
+                target()
+            return inner
+        """
+    )
+    # The call belongs to ``inner``, not ``outer``.
+    assert _targets(project, "repro.a.outer") == set()
+    assert _targets(project, "repro.a.outer.inner") == {"repro.a.target"}

@@ -1,0 +1,335 @@
+"""REP1xx concurrency rules: every rule catches its seeded violation
+and stays quiet on the sanctioned pattern."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checks.callgraph import build_project_from_sources
+from repro.checks.concurrency import run_concurrency
+
+
+def _findings(**sources: str):
+    project = build_project_from_sources(
+        {name.replace("_", "."): textwrap.dedent(src) for name, src in sources.items()}
+    )
+    return run_concurrency(project)
+
+
+def _codes(**sources: str) -> set[str]:
+    return {f.code for f in _findings(**sources)}
+
+
+# -- REP101: blocking-in-event-loop -----------------------------------------
+
+
+def test_rep101_direct_sleep_in_async_def():
+    assert "REP101" in _codes(
+        repro_a="""
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+        """
+    )
+
+
+def test_rep101_sleep_two_calls_deep_under_async_handler():
+    # ISSUE acceptance: injecting time.sleep two helpers below an async
+    # handler must fail the gate, with the chain in the message.
+    findings = _findings(
+        repro_a="""
+        import time
+
+        def inner():
+            time.sleep(0.1)
+
+        def outer():
+            inner()
+
+        async def handler():
+            outer()
+        """
+    )
+    rep101 = [f for f in findings if f.code == "REP101"]
+    assert rep101, findings
+    assert any("outer -> inner: time.sleep()" in f.message for f in rep101)
+
+
+def test_rep101_blocking_behind_executor_is_fine():
+    assert "REP101" not in _codes(
+        repro_a="""
+        import time
+
+        def blocking_work():
+            time.sleep(0.1)
+
+        async def handler(loop):
+            await loop.run_in_executor(None, blocking_work)
+        """
+    )
+
+
+def test_rep101_sync_only_blocking_is_fine():
+    assert "REP101" not in _codes(
+        repro_a="""
+        import time
+
+        def cli_pause():
+            time.sleep(0.1)
+        """
+    )
+
+
+def test_rep101_open_file_handle_write_via_method_chain():
+    findings = _findings(
+        repro_a="""
+        class Log:
+            def __init__(self, path):
+                self._sink = open(path, "a")
+
+            def emit(self, record):
+                self._sink.write(record)
+
+            async def handle(self):
+                self.emit("hop")
+        """
+    )
+    rep101 = [f for f in findings if f.code == "REP101"]
+    assert rep101
+    assert any("open file handle" in f.message for f in rep101)
+
+
+def test_rep101_pathlib_write_text_in_async():
+    assert "REP101" in _codes(
+        repro_a="""
+        async def persist(path, payload):
+            path.write_text(payload)
+        """
+    )
+
+
+def test_rep101_str_replace_is_not_filesystem():
+    assert "REP101" not in _codes(
+        repro_a="""
+        async def sanitize(name):
+            return name.replace("/", "_")
+        """
+    )
+
+
+def test_rep101_noqa_suppresses():
+    assert "REP101" not in _codes(
+        repro_a="""
+        import time
+
+        async def handler():
+            time.sleep(0.1)  # noqa: REP101 - startup-only, loop idle
+        """
+    )
+
+
+# -- REP102: fire-and-forget task -------------------------------------------
+
+
+def test_rep102_bare_create_task():
+    assert "REP102" in _codes(
+        repro_a="""
+        import asyncio
+
+        async def coro():
+            pass
+
+        async def handler():
+            asyncio.create_task(coro())
+        """
+    )
+
+
+def test_rep102_retained_task_is_fine():
+    assert "REP102" not in _codes(
+        repro_a="""
+        import asyncio
+
+        async def coro():
+            pass
+
+        async def handler(background):
+            task = asyncio.create_task(coro())
+            background.add(task)
+            task.add_done_callback(background.discard)
+        """
+    )
+
+
+# -- REP103: unawaited coroutine --------------------------------------------
+
+
+def test_rep103_statement_level_coroutine_call():
+    assert "REP103" in _codes(
+        repro_a="""
+        async def refresh():
+            pass
+
+        def tick():
+            refresh()
+        """
+    )
+
+
+def test_rep103_awaited_call_is_fine():
+    assert "REP103" not in _codes(
+        repro_a="""
+        async def refresh():
+            pass
+
+        async def tick():
+            await refresh()
+        """
+    )
+
+
+def test_rep103_bound_coroutine_is_fine():
+    # A coroutine assigned to a name may be awaited/scheduled later.
+    assert "REP103" not in _codes(
+        repro_a="""
+        async def refresh():
+            pass
+
+        def make():
+            pending = refresh()
+            return pending
+        """
+    )
+
+
+# -- REP104: unlocked shared state ------------------------------------------
+
+
+_SHARED_GLOBAL = """
+import threading
+
+_TELEMETRY = {"hits": 0}
+
+def worker():
+    _TELEMETRY["hits"] = _TELEMETRY["hits"] + 1
+
+async def stats():
+    return dict(_TELEMETRY)
+
+async def handler(loop):
+    await loop.run_in_executor(None, worker)
+"""
+
+
+def test_rep104_unlocked_global_mutation_off_loop():
+    findings = _findings(repro_a=_SHARED_GLOBAL)
+    rep104 = [f for f in findings if f.code == "REP104"]
+    assert rep104
+    assert any("_TELEMETRY" in f.message for f in rep104)
+
+
+def test_rep104_locked_mutation_is_fine():
+    assert "REP104" not in _codes(
+        repro_a="""
+        import threading
+
+        _TELEMETRY = {"hits": 0}
+        _LOCK = threading.Lock()
+
+        def worker():
+            with _LOCK:
+                _TELEMETRY["hits"] = _TELEMETRY["hits"] + 1
+
+        async def stats():
+            return dict(_TELEMETRY)
+
+        async def handler(loop):
+            await loop.run_in_executor(None, worker)
+        """
+    )
+
+
+def test_rep104_plain_rebind_is_fine():
+    # Reference swap is atomic under the GIL -- the sanctioned publish
+    # pattern must not trip the rule.
+    assert "REP104" not in _codes(
+        repro_a="""
+        _SNAPSHOT = {}
+
+        def worker():
+            global _SNAPSHOT
+            _SNAPSHOT = {"fresh": True}
+
+        async def stats():
+            return _SNAPSHOT
+        """
+    )
+
+
+def test_rep104_instance_attr_written_by_thread_entry():
+    findings = _findings(
+        repro_a="""
+        import threading
+
+        class Service:
+            def __init__(self):
+                self.stats = []
+                threading.Thread(target=self._run).start()
+
+            def _run(self):
+                self.stats.append(1)
+
+            async def snapshot(self):
+                return list(self.stats)
+        """
+    )
+    rep104 = [f for f in findings if f.code == "REP104"]
+    assert rep104
+    assert any("self.stats" in f.message for f in rep104)
+
+
+# -- REP105: contextvar without reset ---------------------------------------
+
+
+def test_rep105_set_without_reset():
+    assert "REP105" in _codes(
+        repro_a="""
+        from contextvars import ContextVar
+
+        _BOUND = ContextVar("bound", default=())
+
+        def bind(rids):
+            _BOUND.set(rids)
+        """
+    )
+
+
+def test_rep105_paired_reset_is_fine():
+    assert "REP105" not in _codes(
+        repro_a="""
+        from contextvars import ContextVar
+
+        _BOUND = ContextVar("bound", default=())
+
+        def bind(rids):
+            token = _BOUND.set(rids)
+            try:
+                pass
+            finally:
+                _BOUND.reset(token)
+        """
+    )
+
+
+# -- engine -----------------------------------------------------------------
+
+
+def test_syntax_error_surfaces_as_rep000():
+    assert "REP000" in _codes(repro_bad="def broken(:\n    pass\n")
+
+
+def test_findings_deterministic_order():
+    first = _findings(repro_a=_SHARED_GLOBAL)
+    second = _findings(repro_a=_SHARED_GLOBAL)
+    assert [f.sort_key for f in first] == [f.sort_key for f in second]

@@ -208,21 +208,83 @@ def test_rep010_identity_ordering():
 # -- engine behaviour --------------------------------------------------------
 
 
-def test_noqa_bare_suppresses_all():
+def test_noqa_bare_suppresses_all_but_is_itself_flagged():
     source = "import random\nx = random.random()  # noqa\n"
-    assert lint_source(source) == []
+    # The blanket comment silences REP001 -- and REP011 flags the
+    # blanket comment (a noqa cannot excuse itself).
+    assert {f.code for f in lint_source(source)} == {"REP011"}
 
 
 def test_noqa_with_code_suppresses_that_code_only():
-    source = "import random\nx = random.random()  # noqa: REP001\n"
+    source = "import random\nx = random.random()  # noqa: REP001 - seeded upstream\n"
     assert lint_source(source) == []
-    wrong_code = "import random\nx = random.random()  # noqa: REP009\n"
+    wrong_code = "import random\nx = random.random()  # noqa: REP009 - wrong rule\n"
     assert {f.code for f in lint_source(wrong_code)} == {"REP001"}
+
+
+def test_noqa_code_list_parses_spaces_and_case():
+    source = (
+        "import random\n"
+        "x = hash(random.random())  # NOQA: rep001 , REP009 - both known\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_noqa_on_continuation_line_suppresses_multiline_statement():
+    # The finding anchors at the statement's first line; the comment
+    # sits where a formatter left it, on the closing line.
+    source = (
+        "import random\n"
+        "x = random.randrange(\n"
+        "    64,\n"
+        ")  # noqa: REP001 - demo fixture\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_noqa_on_unrelated_line_does_not_suppress():
+    source = (
+        "import random\n"
+        "y = 1  # noqa: REP001 - unrelated line\n"
+        "x = random.randrange(64)\n"
+    )
+    assert {f.code for f in lint_source(source)} == {"REP001"}
 
 
 def test_syntax_error_reports_rep000():
     findings = lint_source("def broken(:\n")
     assert [f.code for f in findings] == ["REP000"]
+
+
+# -- REP011: noqa justification ---------------------------------------------
+
+
+def test_rep011_blanket_noqa_flagged():
+    findings = lint_source("x = 1  # noqa\n")
+    assert [f.code for f in findings] == ["REP011"]
+
+
+def test_rep011_rep_code_without_justification():
+    findings = lint_source("x = 1  # noqa: REP004\n")
+    assert [f.code for f in findings] == ["REP011"]
+
+
+def test_rep011_justified_rep_suppression_passes():
+    assert lint_source("x = 1  # noqa: REP004 - CLI entry, not hot path\n") == []
+
+
+def test_rep011_non_rep_codes_exempt():
+    assert lint_source("f = lambda: 0  # noqa: E731\n") == []
+
+
+def test_rep011_cannot_be_self_suppressed():
+    # The meta-rule bypasses the suppression machinery by design.
+    findings = lint_source("x = 1  # noqa\n")
+    assert [f.code for f in findings] == ["REP011"]
+
+
+def test_rep011_ignores_noqa_inside_strings():
+    assert lint_source("DOC = 'use # noqa sparingly'\n") == []
 
 
 def test_clean_source_has_no_findings():

@@ -59,7 +59,7 @@ def test_check_defaults_to_lint(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("x = 1\n")
     assert main(["check", str(clean)]) == 0
-    assert "lint:" in capsys.readouterr().err
+    assert "check [lint]:" in capsys.readouterr().err
 
 
 def test_check_sanitize_runs_clean(capsys):
