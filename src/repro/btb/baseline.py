@@ -88,6 +88,10 @@ class BaselineBTB(BranchTargetPredictor):
         self._tags = [_NO_TAG] * size
         self._targets = [0] * size
         self._conf = [0] * size
+        #: Mutation journal for the vector engine's struct-of-arrays
+        #: mirrors: every write to lookup-visible state (tags/targets)
+        #: appends its flat slot here while a vector run is active.
+        self._vec_journal: list[int] | None = None
 
     # -- address mapping ---------------------------------------------------
 
@@ -222,6 +226,8 @@ class BaselineBTB(BranchTargetPredictor):
             self._conf[slot] -= 1
         else:
             self._targets[slot] = target
+            if self._vec_journal is not None:
+                self._vec_journal.append(slot)
         self._policies[index].on_hit(way)
 
     def _allocate(self, index: int, tag: int, target: int) -> None:
@@ -235,6 +241,8 @@ class BaselineBTB(BranchTargetPredictor):
         self._tags[slot] = tag
         self._targets[slot] = target
         self._conf[slot] = 0
+        if self._vec_journal is not None:
+            self._vec_journal.append(slot)
         policy.on_insert(way)
         self.stats.allocations += 1
 

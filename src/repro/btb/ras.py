@@ -53,6 +53,25 @@ class ReturnAddressStack:
         self._size -= 1
         return self._buffer[self._top]
 
+    def clone(self) -> "ReturnAddressStack":
+        """Independent copy of the full stack state.
+
+        The vectorised engine replays the call/return stream once per
+        ``(returns_use_ras, depth)`` configuration and hands each
+        simulator a clone of the end state (mirroring
+        :meth:`repro.frontend.icache.ICache.clone`).
+        """
+        clone = ReturnAddressStack.__new__(ReturnAddressStack)
+        clone.depth = self.depth
+        clone._buffer = list(self._buffer)
+        clone._top = self._top
+        clone._size = self._size
+        clone.pushes = self.pushes
+        clone.pops = self.pops
+        clone.underflows = self.underflows
+        clone.overflows = self.overflows
+        return clone
+
     def peek(self) -> int | None:
         """Top of stack without popping (speculation repair helper)."""
         if self._size == 0:

@@ -36,10 +36,10 @@ class ReplacementPolicy(abc.ABC):
         """Pick the way to evict; invalid ways are always preferred."""
 
     def _first_invalid(self, valid: list[bool]) -> int | None:
-        for way, is_valid in enumerate(valid):
-            if not is_valid:
-                return way
-        return None
+        try:
+            return valid.index(False)
+        except ValueError:
+            return None
 
     def metadata_bits_per_entry(self) -> int:
         """Replacement metadata cost, in bits per entry."""
@@ -139,15 +139,20 @@ class SrripPolicy(ReplacementPolicy):
         self.rrpv[way] = self._max - 1
 
     def victim(self, valid: list[bool]) -> int:
-        invalid = self._first_invalid(valid)
-        if invalid is not None:
-            return invalid
+        # list.index runs the scans at C speed; rrpv is aged in place
+        # because external mirrors may hold a reference to the list.
+        try:
+            return valid.index(False)
+        except ValueError:
+            pass
+        rrpv = self.rrpv
+        distant = self._max
         while True:
-            for way in range(self.ways):
-                if self.rrpv[way] == self._max:
-                    return way
-            for way in range(self.ways):
-                self.rrpv[way] += 1
+            try:
+                return rrpv.index(distant)
+            except ValueError:
+                for way in range(self.ways):
+                    rrpv[way] += 1
 
     def metadata_bits_per_entry(self) -> int:
         return self._m

@@ -109,9 +109,11 @@ METRIC_CATALOG = frozenset(
         "serve_trace_decodes_total",
         "frontend_stall_cycles_total",
         "frontend_resteers_total",
+        "frontend_engine_events_per_sec",
         "btb_misses_by_kind_total",
         "harness_result_cache_total",
         "harness_simulation_seconds",
+        "harness_engine_runs_total",
         "scheduler_tasks_total",
         "scheduler_shard_seconds",
         "scheduler_timeouts_total",

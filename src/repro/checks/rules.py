@@ -1,4 +1,4 @@
-"""The determinism & fidelity rules (REP001..REP011).
+"""The determinism & fidelity rules (REP001..REP012).
 
 Each rule encodes one way a simulator silently stops being reproducible
 or faithful to the modelled hardware:
@@ -17,6 +17,7 @@ code        name                    catches
 ``REP009``  builtin-hash            ``hash()`` (PYTHONHASHSEED-dependent)
 ``REP010``  identity-ordering       ``id()`` (address-dependent values)
 ``REP011``  noqa-justification      blanket ``# noqa`` / unjustified REP noqa
+``REP012``  scalar-loop-over-array  per-element Python loops over numpy arrays
 ==========  ======================  ==========================================
 
 The bit-width rule folds shift amounts over the declared widths of
@@ -651,6 +652,96 @@ class NoqaJustificationRule(LintRule):
                 )
 
 
+class ScalarLoopOverArrayRule(LintRule):
+    """REP012: per-element Python loops over numpy arrays in hot modules.
+
+    Iterating a numpy array from Python materialises one numpy scalar
+    per element -- roughly 30x the cost of iterating the equivalent
+    list, and the exact pattern the columnar engine exists to avoid.
+    Inside the engine's hot directories (``workloads/``, ``frontend/``,
+    ``btb/``) a loop must either be vectorised away or iterate
+    ``array.tolist()`` (one bulk conversion, then native ints).
+
+    The rule flags ``for`` loops (and comprehensions) whose iterable is
+    a direct ndarray producer: any ``np.*``/``numpy.*`` call, or an
+    ndarray-returning method like ``.astype()``/``.cumsum()`` --
+    including through ``enumerate``/``zip``/``reversed`` wrappers.
+    Name-typed arrays are invisible to an AST linter, so this catches
+    the declared producers, not every possible alias; ``.tolist()``
+    at the loop header is the sanctioned escape.
+    """
+
+    code = "REP012"
+    name = "scalar-loop-over-array"
+    summary = "per-element Python loop over a numpy array in a hot module"
+
+    _HOT_DIRS = frozenset({"workloads", "frontend", "btb"})
+
+    #: Methods that return ndarrays in this codebase (list methods like
+    #: ``.copy()`` are deliberately absent -- too ambiguous).
+    _NDARRAY_METHODS = frozenset(
+        {
+            "astype",
+            "cumsum",
+            "ravel",
+            "flatten",
+            "nonzero",
+            "reshape",
+            "clip",
+            "argsort",
+            "compress",
+            "take",
+        }
+    )
+
+    def _producer(self, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if isinstance(func.value, ast.Name) and func.value.id in {"np", "numpy"}:
+            return f"{func.value.id}.{func.attr}(...)"
+        if func.attr in self._NDARRAY_METHODS:
+            return f".{func.attr}(...)"
+        return None
+
+    def _flagged(self, iterable: ast.AST) -> str | None:
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"enumerate", "zip", "reversed"}
+        ):
+            for arg in iterable.args:
+                producer = self._producer(arg)
+                if producer is not None:
+                    return producer
+            return None
+        return self._producer(iterable)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        from pathlib import PurePath
+
+        if not self._HOT_DIRS & set(PurePath(ctx.path).parts):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                iterables = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for iterable in iterables:
+                producer = self._flagged(iterable)
+                if producer is not None:
+                    yield node, (
+                        f"per-element Python loop over a numpy array "
+                        f"({producer}): each step materialises a numpy "
+                        "scalar; vectorise the loop, or iterate "
+                        "'.tolist()' of the array instead"
+                    )
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     UnseededRandomRule,
     SetIterationRule,
@@ -663,4 +754,5 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     BuiltinHashRule,
     IdentityOrderingRule,
     NoqaJustificationRule,
+    ScalarLoopOverArrayRule,
 )

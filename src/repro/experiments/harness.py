@@ -46,6 +46,10 @@ _CACHE_MISSES = 0
 #: the report's telemetry appendix ranks these.
 _RUN_SECONDS: dict[tuple[str, str], float] = {}
 
+#: (trace name, design key) -> (engine tier, events/sec) of the last
+#: fresh simulation; the report's telemetry appendix aggregates these.
+_RUN_ENGINES: dict[tuple[str, str], tuple[str, float]] = {}
+
 #: Memo state is written by serve worker threads while the event loop
 #: reads ``cache_info`` on ``/v1/stats`` (REP104).
 _CACHE_LOCK = threading.Lock()
@@ -77,6 +81,7 @@ def clear_cache() -> None:
     with _CACHE_LOCK:
         _RESULT_CACHE.clear()
         _RUN_SECONDS.clear()
+        _RUN_ENGINES.clear()
         _CACHE_HITS = 0
         _CACHE_MISSES = 0
 
@@ -86,6 +91,29 @@ def slowest_runs(n: int = 5) -> list[tuple[str, str, float]]:
     with _CACHE_LOCK:
         ranked = sorted(_RUN_SECONDS.items(), key=lambda item: -item[1])
     return [(app, design, seconds) for (app, design), seconds in ranked[:n]]
+
+
+def engine_mix() -> dict[str, dict]:
+    """Fresh simulations grouped by engine tier, with median throughput.
+
+    Keyed by tier (``vector`` / ``fast`` / ``general``); each value
+    carries the run count and the median raw events/sec the tier
+    sustained -- the report's telemetry appendix renders this so a
+    design accidentally falling off the vector path is visible.
+    """
+    with _CACHE_LOCK:
+        rows = list(_RUN_ENGINES.values())
+    mix: dict[str, list[float]] = {}
+    for engine, eps in rows:
+        mix.setdefault(engine, []).append(eps)
+    out = {}
+    for engine, rates in sorted(mix.items()):
+        rates.sort()
+        out[engine] = {
+            "runs": len(rates),
+            "events_per_sec_median": rates[len(rates) // 2],
+        }
+    return out
 
 
 def run_design(
@@ -143,14 +171,21 @@ def run_design(
         with tracer.span("warmup+measure", app=trace_name, design=design.key):
             stats = simulator.run(trace, warmup_fraction=warmup_fraction)
     elapsed = time.perf_counter() - started
+    engine = getattr(simulator, "last_engine", "none")
+    events_per_sec = float(getattr(stats, "events_per_sec", 0.0))
     with _CACHE_LOCK:
         _RUN_SECONDS[(trace_name, design.key)] = elapsed
+        _RUN_ENGINES[(trace_name, design.key)] = (engine, events_per_sec)
     registry.histogram(
         "harness_simulation_seconds", "wall seconds per fresh simulation"
     ).observe(elapsed, design=design.key, scale=scale)
+    registry.counter(
+        "harness_engine_runs_total", "fresh simulations by engine tier"
+    ).inc(engine=engine)
     obs_events.emit(
         "harness-run", app=trace_name, design=design.key, scale=scale,
-        seconds=round(elapsed, 6),
+        seconds=round(elapsed, 6), engine=engine,
+        events_per_sec=round(events_per_sec),
     )
     if use_cache:
         with _CACHE_LOCK:

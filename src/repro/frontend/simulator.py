@@ -29,6 +29,7 @@ not modelled (a second-order effect the paper notes qualitatively).
 
 from __future__ import annotations
 
+import time
 from itertools import islice
 
 from repro.branch.direction import (
@@ -40,6 +41,7 @@ from repro.obs.metrics import get_registry
 from repro.branch.types import BranchKind
 from repro.btb.base import BranchTargetPredictor
 from repro.btb.ittage import ITTagePredictor
+from repro.btb.vectorops import vector_supported
 from repro.btb.ras import ReturnAddressStack
 from repro.checks.sanitizer import get_sanitizer
 from repro.frontend.icache import ICache
@@ -85,7 +87,13 @@ class FrontendSimulator:
             the mispredicted path on execute-stage flushes, polluting the
             ICache (the paper notes this effect of BTB misses
             qualitatively; off by default).
+        engine: ``"auto"`` (default) picks the fastest applicable tier
+            (vector > fast > general); ``"vector"``/``"fast"`` force a
+            tier and raise ``ValueError`` at :meth:`run` when the
+            configuration cannot use it; ``"general"`` always applies.
     """
+
+    _ENGINES = ("auto", "vector", "fast", "general")
 
     def __init__(
         self,
@@ -97,7 +105,10 @@ class FrontendSimulator:
         ras_depth: int = 32,
         model_wrong_path: bool = False,
         wrong_path_bytes: int = 256,
+        engine: str = "auto",
     ) -> None:
+        if engine not in self._ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; options: {self._ENGINES}")
         self.btb = btb
         self.params = params
         self._direction_is_default = direction is None
@@ -109,9 +120,11 @@ class FrontendSimulator:
         self.model_wrong_path = model_wrong_path
         self.wrong_path_bytes = wrong_path_bytes
         self.wrong_path_fetches = 0
+        self.engine = engine
         self._has_run = False
-        #: Which engine the most recent :meth:`run` used ("fast" when the
-        #: decoded-trace loop applied, "general" otherwise).
+        #: Which engine the most recent :meth:`run` used ("vector" for
+        #: the columnar engine, "fast" for the decoded-trace loop,
+        #: "general" otherwise).
         self.last_engine = "none"
 
     def run(
@@ -156,12 +169,39 @@ class FrontendSimulator:
                     f"measure_range {measure_range!r} out of bounds for "
                     f"{len(trace)} events"
                 )
-        if self._fast_path_applicable():
-            self.last_engine = "fast"
+        engine = self.engine
+        if engine == "auto":
+            if self._vector_path_applicable():
+                engine = "vector"
+            elif self._fast_path_applicable():
+                engine = "fast"
+            else:
+                engine = "general"
+        elif engine == "vector" and not self._vector_path_applicable():
+            raise ValueError(
+                "vector engine not applicable to this configuration "
+                "(requires cold structures, fast-path support, and a "
+                "vector-capable BTB)"
+            )
+        elif engine == "fast" and not self._fast_path_applicable():
+            raise ValueError("fast engine not applicable to this configuration")
+        self.last_engine = engine
+        started = time.perf_counter()
+        if engine == "vector":
+            from repro.frontend.vector import run_vector
+
+            stats = run_vector(self, trace, warmup_fraction, measure_range)
+        elif engine == "fast":
             stats = self._run_fast(trace, warmup_fraction, measure_range)
         else:
-            self.last_engine = "general"
             stats = self._run_general(trace, warmup_fraction, measure_range)
+        elapsed = time.perf_counter() - started
+        # Engine telemetry rides on the stats object as plain instance
+        # attributes (not dataclass fields, so digests/to_dict stay
+        # unchanged): which tier ran and its raw event throughput.
+        processed = len(trace) if measure_range is None else measure_range[1]
+        stats.engine = engine
+        stats.events_per_sec = processed / elapsed if elapsed > 0 else 0.0
         self._has_run = True
         registry = get_registry()
         if registry.enabled:
@@ -198,6 +238,22 @@ class FrontendSimulator:
             and getattr(self.btb, "supports_fast_path", False)
             and not get_sanitizer().enabled
             and self._direction_signature() is not None
+        )
+
+    def _vector_path_applicable(self) -> bool:
+        """Whether the columnar vector engine reproduces this configuration.
+
+        Everything the fast engine needs, plus a design with exact
+        struct-of-arrays kernels and a pristine RAS (the vector engine
+        replays the call/return stream from cold state, like the ICache
+        and direction columns).
+        """
+        return (
+            self._fast_path_applicable()
+            and self.ras.pushes == 0
+            and self.ras.pops == 0
+            and len(self.ras) == 0
+            and vector_supported(self.btb)
         )
 
     def _run_general(
@@ -696,6 +752,14 @@ class FrontendSimulator:
             "frontend_bad_speculation_fraction": stats.bad_speculation_fraction,
         }
         registry.publish(frontend, **labels)
+        registry.gauge(
+            "frontend_engine_events_per_sec",
+            "raw event throughput of the engine tier that ran",
+        ).set(
+            float(getattr(stats, "events_per_sec", 0.0)),
+            engine=getattr(stats, "engine", "none"),
+            **labels,
+        )
         stalls = registry.counter(
             "frontend_stall_cycles_total", "Top-Down cycle buckets (Figure 1)"
         )

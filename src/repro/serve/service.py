@@ -15,9 +15,12 @@ Request lifecycle (``POST /v1/simulate``):
    (:meth:`~repro.workloads.trace.Trace.decoded`) are computed once per
    batch, and identical jobs collapse to one simulation (single-flight).
 4. **execution** -- the batch runs on a worker thread: warm jobs answer
-   from the harness memo / disk cache, cold suite jobs bridge to the
-   shard scheduler (:func:`repro.experiments.scheduler.run_grid`), cold
-   inline-spec jobs simulate directly.
+   from the harness memo / disk cache; cold suite jobs run as one
+   in-process vectorised multi-design pass over the batch's shared
+   decoded trace (or bridge to the shard scheduler,
+   :func:`repro.experiments.scheduler.run_grid`, when
+   ``REPRO_SCHED_WORKERS``/``SHARDS`` configure sharded execution);
+   cold inline-spec jobs simulate directly.
 5. **response** -- the body is the canonical JSON of
    ``FrontendStats.to_dict()`` (byte-identical to a direct
    :func:`repro.experiments.harness.run_one` caller's serialisation);
@@ -166,6 +169,33 @@ def _resolve_trace(job: SimJob) -> Trace:
     return trace
 
 
+def _run_group_pass(
+    misses: list[SimJob],
+    registry: dict[str, Any],
+    results: dict[SimJob, tuple[FrontendStats, str]],
+) -> None:
+    """Cross-job batching: run the group's cold suite jobs in-process.
+
+    Every job of a batch shares a ``(trace, scale)`` group, so the
+    designs execute back to back over the *same* decoded trace: the
+    columnar extraction, ICache replay, RAS replay and TAGE direction
+    replay are all memoised on the :class:`DecodedTrace` and computed
+    once for the whole batch -- one vectorised multi-design pass.  Each
+    design still runs through :func:`repro.experiments.harness.run_one`,
+    so responses stay byte-identical to a direct caller's and results
+    land in the same memo/disk caches.
+    """
+    from repro.experiments import harness
+
+    for job in misses:
+        stats = harness.run_one(
+            job.trace_name, registry[job.design_key],
+            params=job.params, warmup_fraction=job.warmup_fraction,
+            scale=job.scale,
+        )
+        results[job] = (stats, "fresh")
+
+
 def _run_suite_misses(
     misses: list[SimJob],
     registry: dict[str, Any],
@@ -256,7 +286,17 @@ def default_batch_runner(jobs: list[SimJob]) -> BatchOutcome:
     trace.decoded()
     suite_misses = [job for job in misses if job.spec is None]
     if suite_misses:
-        _run_suite_misses(suite_misses, registry, outcome.results)
+        # Sharded execution (REPRO_SCHED_WORKERS/SHARDS) keeps the
+        # scheduler bridge -- fork isolation and retries are the point
+        # there.  Otherwise the group runs as one in-process vectorised
+        # multi-design pass over the decode paid just above.
+        from repro.experiments import scheduler
+
+        sched = scheduler.config_from_env()
+        if sched.workers > 1 or sched.shards > 1:
+            _run_suite_misses(suite_misses, registry, outcome.results)
+        else:
+            _run_group_pass(suite_misses, registry, outcome.results)
     for job in misses:
         if job.spec is not None:
             outcome.results[job] = (_simulate_adhoc(job, trace, registry), "fresh")

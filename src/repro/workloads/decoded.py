@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.branch.direction import TageLitePredictor
 from repro.branch.types import BranchKind
+from repro.btb.ras import ReturnAddressStack
 from repro.frontend.icache import ICache
 
 if TYPE_CHECKING:
@@ -44,6 +45,7 @@ if TYPE_CHECKING:
 
 _INSTR_BYTES = 4
 _KIND_COND = int(BranchKind.COND_DIRECT)
+_KIND_RETURN = int(BranchKind.RETURN)
 
 _ALL_KINDS = [BranchKind(value) for value in range(len(BranchKind))]
 _IS_CALL_BY_KIND = np.array([kind.is_call for kind in _ALL_KINDS], dtype=np.bool_)
@@ -87,9 +89,17 @@ class DecodedTrace:
         "_block_starts",
         "_takens",
         "_kinds",
+        "_targets",
         "_supply_demand",
         "_icache",
         "_direction",
+        "_raw",
+        "_vector",
+        "_index_tag",
+        "_supply_demand_arrays",
+        "_icache_arrays",
+        "_direction_arrays",
+        "_ras",
     )
 
     def __init__(self) -> None:
@@ -103,9 +113,21 @@ class DecodedTrace:
         self._block_starts: list[int] = []
         self._takens: list[bool] = []
         self._kinds: list[int] = []
+        self._targets: list[int] = []
         self._supply_demand: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
         self._icache: dict[tuple[int, int, int], tuple[list[int], ICache]] = {}
         self._direction: dict[str, tuple[list[bool], object]] = {}
+        # Vectorised-engine columns (numpy mirrors of the list columns),
+        # built lazily because only vector-capable runs need them.
+        self._raw: tuple[np.ndarray, ...] | None = None
+        self._vector: dict[str, np.ndarray] | None = None
+        self._index_tag: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        self._supply_demand_arrays: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._icache_arrays: dict[tuple[int, int, int], np.ndarray] = {}
+        self._direction_arrays: dict[str, np.ndarray] = {}
+        self._ras: dict[tuple[bool, int], tuple[np.ndarray, ReturnAddressStack]] = {}
 
     @classmethod
     def from_trace(cls, trace: "Trace") -> "DecodedTrace":
@@ -118,16 +140,142 @@ class DecodedTrace:
             decoded._block_starts = (
                 pcs - gaps.astype(np.uint64) * np.uint64(_INSTR_BYTES)
             ).tolist()
-            decoded.hashes = _vector_hash_pc(pcs).tolist()
-            decoded.same_page = (
-                (pcs >> _PAGE_SHIFT) == (targets >> _PAGE_SHIFT)
-            ).tolist()
+            hash_arr = _vector_hash_pc(pcs)
+            decoded.hashes = hash_arr.tolist()
+            same_page_arr = (pcs >> _PAGE_SHIFT) == (targets >> _PAGE_SHIFT)
+            decoded.same_page = same_page_arr.tolist()
         decoded.is_call = _IS_CALL_BY_KIND[kinds].tolist()
         decoded.is_indirect = _IS_INDIRECT_BY_KIND[kinds].tolist()
         decoded._pcs = trace.pcs
         decoded._takens = trace.takens
         decoded._kinds = trace.kinds
+        decoded._targets = trace.targets
+        decoded._raw = (pcs, kinds, takens, targets, gaps, hash_arr, same_page_arr)
         return decoded
+
+    # -- vectorised-engine columns ------------------------------------------
+
+    def vector_columns(self) -> dict[str, np.ndarray]:
+        """Numpy event columns for the chunked vector engine, built once.
+
+        Signed ``int64`` variants of the address columns (addresses are
+        57-bit, so the conversion is lossless) plus the boolean kind
+        properties; every array is the full trace length and sliced per
+        chunk by the engine.
+        """
+        cached = self._vector
+        if cached is None:
+            if self._raw is None:
+                raise RuntimeError("DecodedTrace built without raw columns")
+            pcs, kinds, takens, targets, gaps, hash_arr, same_page_arr = self._raw
+            cached = {
+                "pcs": pcs.astype(np.int64),
+                "targets": targets.astype(np.int64),
+                "kinds": kinds,
+                "taken": np.ascontiguousarray(takens, dtype=np.bool_),
+                "instructions": gaps.astype(np.int64) + 1,
+                "hashes": hash_arr,
+                "same_page": np.ascontiguousarray(same_page_arr, dtype=np.bool_),
+                "is_call": _IS_CALL_BY_KIND[kinds],
+                "is_indirect": _IS_INDIRECT_BY_KIND[kinds],
+                "is_return": kinds == np.uint8(_KIND_RETURN),
+            }
+            self._vector = cached
+        return cached
+
+    def btb_index_tag(self, sets: int, tag_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-event BTB (set index, partial tag) columns for a geometry.
+
+        Exactly the scalar ``hash & mask`` / ``(hash >> 40) & tag_mask``
+        mapping of the flat-storage BTBs, vectorised over the cached
+        ``hash_pc`` column and memoised per ``(sets, tag_bits)`` so every
+        design sharing a geometry reuses the arrays.
+        """
+        key = (sets, tag_bits)
+        cached = self._index_tag.get(key)
+        if cached is None:
+            hashes = self.vector_columns()["hashes"]
+            if sets & (sets - 1) == 0:
+                index = (hashes & np.uint64(sets - 1)).astype(np.int64)
+            else:
+                index = (hashes % np.uint64(sets)).astype(np.int64)
+            tag = (
+                (hashes >> np.uint64(40)) & np.uint64((1 << tag_bits) - 1)
+            ).astype(np.int64)
+            cached = (index, tag)
+            self._index_tag[key] = cached
+        return cached
+
+    def supply_demand_arrays(
+        self, fetch_tick: int, commit_tick: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`supply_demand_ticks` as int64 arrays (vector engine)."""
+        key = (fetch_tick, commit_tick)
+        cached = self._supply_demand_arrays.get(key)
+        if cached is None:
+            instructions = self.vector_columns()["instructions"]
+            cached = (instructions * fetch_tick, instructions * commit_tick)
+            self._supply_demand_arrays[key] = cached
+        return cached
+
+    def icache_miss_array(
+        self, size_kib: int, line_bytes: int, ways: int
+    ) -> tuple[np.ndarray, ICache]:
+        """:meth:`icache_misses` with the column as an int64 array."""
+        key = (size_kib, line_bytes, ways)
+        cached = self._icache_arrays.get(key)
+        misses, final = self.icache_misses(size_kib, line_bytes, ways)
+        if cached is None:
+            cached = np.array(misses, dtype=np.int64)
+            self._icache_arrays[key] = cached
+        return cached, final
+
+    def direction_array(self, signature: str) -> tuple[np.ndarray, object]:
+        """:meth:`direction_outcomes` with the column as a bool array."""
+        cached = self._direction_arrays.get(signature)
+        outcomes, final = self.direction_outcomes(signature)
+        if cached is None:
+            cached = np.array(outcomes, dtype=np.bool_)
+            self._direction_arrays[signature] = cached
+        return cached, final
+
+    def ras_outcomes(
+        self, use_ras: bool, depth: int
+    ) -> tuple[np.ndarray, ReturnAddressStack]:
+        """Per-event RAS-correct bits plus the final stack state.
+
+        The RAS sees only the call/return stream -- never the BTB -- so a
+        single replay of the real :class:`ReturnAddressStack` serves
+        every design, exactly like the ICache and direction replays.
+        With ``use_ras`` False returns flow through the BTB and the stack
+        only accumulates pushes (the column stays all-True); either way
+        the returned stack is the end-of-trace state for adoption after a
+        full vector run.
+        """
+        key = (bool(use_ras), depth)
+        cached = self._ras.get(key)
+        if cached is None:
+            cols = self.vector_columns()
+            if use_ras:
+                touched = np.flatnonzero(cols["is_call"] | cols["is_return"])
+            else:
+                touched = np.flatnonzero(cols["is_call"])
+            ok = [True] * self.n_events
+            ras = ReturnAddressStack(depth)
+            pcs = self._pcs
+            targets = self._targets
+            kinds = self._kinds
+            ras_pop = ras.pop
+            ras_push = ras.push
+            kind_return = _KIND_RETURN
+            for index in touched.tolist():
+                if use_ras and kinds[index] == kind_return:
+                    ok[index] = ras_pop() == targets[index]
+                else:
+                    ras_push(pcs[index] + _INSTR_BYTES)
+            cached = (np.array(ok, dtype=np.bool_), ras)
+            self._ras[key] = cached
+        return cached
 
     # -- replayed / per-configuration columns -------------------------------
 

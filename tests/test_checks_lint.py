@@ -205,6 +205,63 @@ def test_rep010_identity_ordering():
     )
 
 
+def _hot_codes(source: str, path: str = "src/repro/frontend/engine.py") -> set[str]:
+    return {
+        finding.code
+        for finding in lint_source(textwrap.dedent(source), path=path)
+    }
+
+
+def test_rep012_loop_over_numpy_producer():
+    source = """
+    import numpy as np
+
+    def replay(mask):
+        for index in np.flatnonzero(mask):
+            consume(index)
+    """
+    assert "REP012" in _hot_codes(source)
+    # Same loop in a cold module: not a hot path, not flagged.
+    assert "REP012" not in _hot_codes(source, path="src/repro/serve/service.py")
+
+
+def test_rep012_comprehension_and_wrappers():
+    source = """
+    def weights(counts, mask):
+        totals = [int(value) for value in counts.cumsum()]
+        for lane, keep in enumerate(mask.astype(bool)):
+            consume(lane, keep)
+    """
+    assert "REP012" in _hot_codes(source, path="src/repro/workloads/decoded.py")
+
+
+def test_rep012_tolist_escape_passes():
+    source = """
+    import numpy as np
+
+    def replay(mask):
+        for index in np.flatnonzero(mask).tolist():
+            consume(index)
+        for a, b in zip(xs.tolist(), ys):
+            consume(a, b)
+    """
+    assert "REP012" not in _hot_codes(source)
+
+
+def test_rep012_noqa_suppresses():
+    source = (
+        "import numpy as np\n"
+        "def replay(mask):\n"
+        "    for i in np.flatnonzero(mask):  # noqa: REP012 - tiny array\n"
+        "        consume(i)\n"
+    )
+    codes = {
+        f.code
+        for f in lint_source(source, path="src/repro/frontend/engine.py")
+    }
+    assert "REP012" not in codes
+
+
 # -- engine behaviour --------------------------------------------------------
 
 

@@ -34,9 +34,9 @@ def _designs():
     return designs
 
 
-def _run_both(design, trace):
+def _run_both(design, trace, engine="auto"):
     btb, kwargs = design.build()
-    simulator = FrontendSimulator(btb, **kwargs)
+    simulator = FrontendSimulator(btb, engine=engine, **kwargs)
     stats = simulator.run(trace, warmup_fraction=0.3)
     seed_btb, seed_kwargs = design.build()
     reference = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs)
@@ -44,11 +44,20 @@ def _run_both(design, trace):
     return simulator, stats, seed_stats
 
 
+@pytest.mark.parametrize("engine", ["vector", "fast"])
 @pytest.mark.parametrize("key", sorted(_designs()))
-def test_fast_engine_matches_seed_exactly(key):
+def test_decoded_engines_match_seed_exactly(key, engine):
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    simulator, stats, seed_stats = _run_both(_designs()[key], trace, engine=engine)
+    assert simulator.last_engine == engine
+    assert stats.to_dict() == seed_stats.to_dict()
+
+
+@pytest.mark.parametrize("key", sorted(_designs()))
+def test_auto_prefers_vector_engine(key):
     trace = get_trace(TRACE_APP, TRACE_SCALE)
     simulator, stats, seed_stats = _run_both(_designs()[key], trace)
-    assert simulator.last_engine == "fast"
+    assert simulator.last_engine == "vector"
     assert stats.to_dict() == seed_stats.to_dict()
 
 
@@ -72,7 +81,7 @@ def test_warmup_zero_matches_seed():
     seed_stats = SeedFrontendSimulator(seed_counterpart(seed_btb), **seed_kwargs).run(
         trace, warmup_fraction=0.0
     )
-    assert simulator.last_engine == "fast"
+    assert simulator.last_engine == "vector"
     assert stats.to_dict() == seed_stats.to_dict()
 
 
@@ -83,7 +92,7 @@ def test_second_run_uses_general_engine():
     btb, kwargs = standard_designs()["baseline"].build()
     simulator = FrontendSimulator(btb, **kwargs)
     simulator.run(trace, warmup_fraction=0.3)
-    assert simulator.last_engine == "fast"
+    assert simulator.last_engine == "vector"
     simulator.run(trace, warmup_fraction=0.3)
     assert simulator.last_engine == "general"
 
@@ -191,10 +200,10 @@ def _fuzz_design(seed: int):
     return key, designs[key]
 
 
-def _diff_fields(design, trace) -> dict:
-    """Field-by-field diff of fast/general vs seed stats ({} if equal)."""
+def _diff_fields(design, trace, engine="auto") -> dict:
+    """Field-by-field diff of one engine tier vs seed stats ({} if equal)."""
     btb, kwargs = design.build()
-    live = FrontendSimulator(btb, **kwargs).run(
+    live = FrontendSimulator(btb, engine=engine, **kwargs).run(
         trace, warmup_fraction=_FUZZ_WARMUP
     )
     seed_btb, seed_kwargs = design.build()
@@ -209,7 +218,7 @@ def _diff_fields(design, trace) -> dict:
     }
 
 
-def _shrink_prefix(design, spec, failing_length: int) -> int:
+def _shrink_prefix(design, spec, failing_length: int, engine="auto") -> int:
     """Binary-search a short failing prefix of the workload.
 
     Divergence is not guaranteed monotone in the prefix length, so this
@@ -221,7 +230,7 @@ def _shrink_prefix(design, spec, failing_length: int) -> int:
         mid = (low + high) // 2
         prefix = generate_trace(spec)
         prefix.truncate(mid)
-        if _diff_fields(design, prefix):
+        if _diff_fields(design, prefix, engine=engine):
             high = mid
         else:
             low = mid + 1
@@ -230,20 +239,28 @@ def _shrink_prefix(design, spec, failing_length: int) -> int:
 
 @pytest.mark.parametrize("fuzz_seed", range(N_FUZZ_SWEEPS))
 def test_differential_fuzz_engines_agree(fuzz_seed):
+    # "auto" resolves to the best applicable tier (vector for most
+    # designs, general for ittage); the explicit "fast" pass keeps the
+    # middle tier under differential pressure even though auto now
+    # prefers the vector engine.
     spec = _fuzz_spec(fuzz_seed)
     design_key, design = _fuzz_design(fuzz_seed)
     trace = generate_trace(spec)
-    diff = _diff_fields(design, trace)
-    if diff:
-        shrunk = _shrink_prefix(design, spec, len(trace))
-        raise AssertionError(
-            f"engines diverge on fuzz seed {fuzz_seed} "
-            f"(design {design_key!r}, {len(trace)} events; "
-            f"shrunk to first {shrunk} events).\n"
-            f"Reproduce with: generate_trace({spec!r}).truncate({shrunk})\n"
-            "Differing fields (fast/general vs seed): "
-            + ", ".join(f"{k}: {a!r} != {b!r}" for k, (a, b) in diff.items())
-        )
+    for engine in ("auto", "fast"):
+        try:
+            diff = _diff_fields(design, trace, engine=engine)
+        except ValueError:
+            continue  # tier not applicable to this design
+        if diff:
+            shrunk = _shrink_prefix(design, spec, len(trace), engine=engine)
+            raise AssertionError(
+                f"engines diverge on fuzz seed {fuzz_seed} "
+                f"(design {design_key!r}, engine {engine!r}, {len(trace)} "
+                f"events; shrunk to first {shrunk} events).\n"
+                f"Reproduce with: generate_trace({spec!r}).truncate({shrunk})\n"
+                "Differing fields (live vs seed): "
+                + ", ".join(f"{k}: {a!r} != {b!r}" for k, (a, b) in diff.items())
+            )
 
 
 def test_fuzz_sweep_is_deterministic():

@@ -132,6 +132,35 @@ def test_batch_shares_one_decode_across_cold_requests():
         handle.shutdown()
 
 
+def test_group_pass_and_scheduler_bridge_byte_identical(monkeypatch):
+    """Cold suite batches run as one in-process vectorised group pass by
+    default, and bridge to the shard scheduler under REPRO_SCHED_*; both
+    paths must serialise exactly what a direct harness caller would."""
+    pairs = [(APP, design) for design in DESIGNS]
+    expected = _expected_payloads(pairs)
+
+    def _collect() -> list[bytes]:
+        harness.clear_cache()
+        suite._cached_trace.cache_clear()
+        handle = serve_in_thread(_config(batch_window=0.2))
+        try:
+            client = ServeClient(port=handle.port)
+            with ThreadPoolExecutor(max_workers=len(pairs)) as pool:
+                responses = list(
+                    pool.map(lambda p: client.simulate(design=p[1], app=p[0]), pairs)
+                )
+            assert handle.service.counters["fresh_jobs"] == len(DESIGNS)
+            return [response.body for response in responses]
+        finally:
+            handle.shutdown()
+
+    group_bodies = _collect()
+    monkeypatch.setenv("REPRO_SCHED_WORKERS", "2")
+    bridge_bodies = _collect()
+    for (app, design), group, bridge in zip(pairs, group_bodies, bridge_bodies):
+        assert group == bridge == expected[(app, design)], (app, design)
+
+
 # -- backpressure ------------------------------------------------------------
 
 
