@@ -33,6 +33,8 @@ from repro.btb import (
     BranchTargetPredictor,
     ITTagePredictor,
     ReturnAddressStack,
+    MicroBTB,
+    ShadowBTB,
     ShotgunBTB,
     TwoLevelBTB,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "BranchTargetPredictor",
     "ITTagePredictor",
     "ReturnAddressStack",
+    "MicroBTB",
+    "ShadowBTB",
     "ShotgunBTB",
     "TwoLevelBTB",
     "DedupOnlyBTB",

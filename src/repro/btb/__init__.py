@@ -24,6 +24,8 @@ from repro.btb.twolevel import TwoLevelBTB
 from repro.btb.shotgun import ShotgunBTB
 from repro.btb.prefetch import TemporalPrefetchBTB
 from repro.btb.ghrp import GhrpBTB
+from repro.btb.microbtb import MicroBTB
+from repro.btb.shadow import ShadowBTB
 
 __all__ = [
     "BTBLookup",
@@ -42,4 +44,6 @@ __all__ = [
     "ShotgunBTB",
     "TemporalPrefetchBTB",
     "GhrpBTB",
+    "MicroBTB",
+    "ShadowBTB",
 ]

@@ -4,7 +4,11 @@ Commands:
 
 * ``list-apps``     -- list the workload suite at a scale.
 * ``characterize``  -- Section 3 analyses for one application.
-* ``simulate``      -- run one (application, design) pair, print metrics.
+* ``simulate``      -- run one (application, design) pair, print metrics;
+  ``--trace FILE`` runs an imported trace file instead of a suite app.
+* ``convert``       -- convert a branch trace between framings (RBT
+  text/binary, legacy text, ``.npz``) through the characterization gate
+  (README "Importing real traces").
 * ``experiment``    -- run a paper figure/table by id and print its rows.
 * ``report``        -- run the whole evaluation, emit a markdown report.
 * ``check``         -- determinism linter and/or sanitized simulation.
@@ -116,11 +120,89 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a branch trace between framings, through the gate."""
+    from repro.analysis.characterize import EnvelopeError, characterize
+    from repro.workloads.ingest import (
+        IngestError, detect_format, dump_any, load_any,
+    )
+
+    try:
+        source_format = detect_format(args.input)
+        trace = load_any(args.input)
+    except OSError as error:
+        print(f"convert: cannot read {args.input}: {error}", file=sys.stderr)
+        return 1
+    except (IngestError, ValueError) as error:
+        print(f"convert: {args.input}: {error}", file=sys.stderr)
+        return 1
+    if args.name:
+        trace.name = args.name
+    if args.category:
+        trace.category = args.category
+    profile = characterize(trace)
+    if args.profile_out:
+        with open(args.profile_out, "w") as handle:
+            json.dump(profile.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.profile_out}", file=sys.stderr)
+    if not args.no_gate:
+        from repro.analysis.characterize import paper_envelope
+
+        try:
+            paper_envelope().check(profile)
+        except EnvelopeError as error:
+            print(f"convert: {error}", file=sys.stderr)
+            return 1
+    try:
+        used = dump_any(trace, args.output, fmt=args.to)
+    except (OSError, ValueError) as error:
+        print(f"convert: cannot write {args.output}: {error}", file=sys.stderr)
+        return 1
+    print(f"convert: {args.input} ({source_format}) -> {args.output} ({used}): "
+          f"{len(trace):,} events, {profile.instruction_count:,} instructions, "
+          f"{profile.unique_pcs:,} static branches"
+          + ("" if args.no_gate else "; characterization gate passed"),
+          file=sys.stderr)
+    return 0
+
+
+def _simulate_trace_file(args: argparse.Namespace, design) -> int:
+    """``simulate --trace FILE``: run a design over an imported trace."""
+    from repro.analysis.characterize import EnvelopeError
+    from repro.frontend.simulator import FrontendSimulator
+    from repro.workloads.ingest import IngestError, import_trace
+
+    try:
+        trace, _profile = import_trace(args.trace_file, gate=not args.no_gate)
+    except OSError as error:
+        print(f"simulate: cannot read {args.trace_file}: {error}",
+              file=sys.stderr)
+        return 1
+    except (IngestError, EnvelopeError, ValueError) as error:
+        print(f"simulate: {args.trace_file}: {error}", file=sys.stderr)
+        return 1
+    btb, simulator_kwargs = design.build()
+    simulator = FrontendSimulator(btb, **simulator_kwargs)
+    stats = simulator.run(trace, warmup_fraction=args.warmup)
+    print(f"{trace.name} x {design.key} (storage {btb.storage_kib():.1f} KiB)")
+    print(f"  IPC            : {stats.ipc:.3f}")
+    print(f"  BTB MPKI       : {stats.btb_mpki:.2f}")
+    print(f"  decode resteers: {stats.decode_resteers}")
+    print(f"  exec resteers  : {stats.execute_resteers}")
+    print(f"  frontend-bound : {stats.frontend_bound_fraction:.1%}")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     app = args.app_opt or args.app
     design_key = args.design_opt or args.design
-    if not app or not design_key:
-        print("simulate needs an application and a design "
+    if args.trace_file:
+        if app and design_key is None:
+            # `simulate --trace FILE DESIGN` puts the design first.
+            app, design_key = None, app
+    if not design_key or (not app and not args.trace_file):
+        print("simulate needs an application (or --trace FILE) and a design "
               "(positional or --app/--design)", file=sys.stderr)
         return 2
     registry = _design_registry()
@@ -129,6 +211,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     design = registry[design_key]
+    if args.trace_file:
+        return _simulate_trace_file(args, design)
     stats = run_design(app, design, scale=args.scale,
                        warmup_fraction=args.warmup)
     btb, _ = design.build()
@@ -528,8 +612,37 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--design", dest="design_opt", default=None,
                           help="design key (alternative to positional)")
     simulate.add_argument("--warmup", type=float, default=0.3)
+    simulate.add_argument("--trace", dest="trace_file", default=None,
+                          metavar="FILE",
+                          help="simulate an imported trace file (RBT text/"
+                               "binary, legacy text, or .npz) instead of a "
+                               "suite app")
+    simulate.add_argument("--no-gate", action="store_true",
+                          help="with --trace: skip the characterization "
+                               "envelope gate")
     _add_obs_flags(simulate)
     _add_sanitize_flags(simulate)
+
+    convert = sub.add_parser(
+        "convert", help="convert a branch trace between framings "
+                        "(README 'Importing real traces')",
+    )
+    convert.add_argument("input", help="source trace (RBT text/binary, "
+                                       "legacy text, or .npz)")
+    convert.add_argument("output", help="destination path; framing from "
+                                        "--to or the suffix (.rbt/.rbtb/.npz)")
+    convert.add_argument(
+        "--to", choices=("rbt-text", "rbt-binary", "npz", "legacy-text"),
+        default=None, help="output framing (default: by output suffix)",
+    )
+    convert.add_argument("--name", default=None,
+                         help="override the trace name header")
+    convert.add_argument("--category", default=None,
+                         help="override the trace category header")
+    convert.add_argument("--no-gate", action="store_true",
+                         help="skip the characterization envelope gate")
+    convert.add_argument("--profile-out", metavar="FILE.json", default=None,
+                         help="write the characterization profile as JSON")
 
     experiment = sub.add_parser(
         "experiment", help="run a paper figure/table by id",
@@ -660,6 +773,7 @@ _COMMANDS = {
     "list-apps": cmd_list_apps,
     "characterize": cmd_characterize,
     "simulate": cmd_simulate,
+    "convert": cmd_convert,
     "experiment": cmd_experiment,
     "report": cmd_report,
     "check": cmd_check,

@@ -81,6 +81,40 @@ def ghrp_design(entries: int = 4096, key: str | None = None, **kwargs) -> Design
     return Design(key=key, build_btb=lambda: GhrpBTB(entries=entries, **kwargs))
 
 
+def micro_btb_design(key: str = "micro-btb", **kwargs) -> Design:
+    """Two-tier last-level BTB hierarchy (Micro BTB, Gupta & Panda).
+
+    General engine only (the class opts out of the fast/vector tiers).
+    """
+    from repro.btb.microbtb import MicroBTB
+
+    return Design(key=key, build_btb=lambda: MicroBTB(**kwargs))
+
+
+def shadow_design(
+    inner: str = "baseline", key: str | None = None, **kwargs
+) -> Design:
+    """Decode-assisted shadow-branch fill (Pepi et al.) over Baseline/PDede.
+
+    ``inner`` selects the main predictor the shadow table backs.
+    General engine only (the class opts out of the fast/vector tiers).
+    """
+    from repro.btb.shadow import ShadowBTB
+
+    if inner not in ("baseline", "pdede"):
+        raise ValueError(f"inner must be 'baseline' or 'pdede', got {inner!r}")
+    key = key or f"shadow-{inner}"
+
+    def build() -> BranchTargetPredictor:
+        if inner == "baseline":
+            core: BranchTargetPredictor = BaselineBTB()
+        else:
+            core = PDedeBTB(paper_config(PDedeMode.MULTI_ENTRY))
+        return ShadowBTB(core, **kwargs)
+
+    return Design(key=key, build_btb=build)
+
+
 def with_temporal_prefetch(design: Design, **kwargs) -> Design:
     """Wrap a design with Twig/Phantom-style temporal BTB prefetching.
 
@@ -175,4 +209,7 @@ def design_registry() -> dict[str, Design]:
         "dedup-only": dedup_only_design(),
         "partition-only": partition_only_design(),
         "shotgun": shotgun_design(),
+        "micro-btb": micro_btb_design(),
+        "shadow-baseline": shadow_design("baseline"),
+        "shadow-pdede": shadow_design("pdede"),
     }

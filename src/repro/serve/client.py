@@ -33,12 +33,16 @@ class ServiceError(RuntimeError):
         code: str,
         message: str,
         retry_after: float | None = None,
+        options: list[str] | None = None,
     ) -> None:
         super().__init__(f"[{status}/{code}] {message}")
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        #: Valid values for the rejected field, when the service
+        #: enumerated them (e.g. the live design registry).
+        self.options = options
 
 
 @dataclass
@@ -105,9 +109,11 @@ class ServeClient:
         if status < 400:
             return
         code, message = "unknown", payload.decode("utf-8", "replace")
+        options = None
         try:
             error = json.loads(payload)["error"]
             code, message = error["code"], error["message"]
+            options = error.get("options")
         except (ValueError, KeyError, TypeError):
             pass
         retry_after = None
@@ -116,7 +122,9 @@ class ServeClient:
                 retry_after = float(headers["retry-after"])
             except ValueError:
                 pass
-        raise ServiceError(status, code, message, retry_after=retry_after)
+        raise ServiceError(
+            status, code, message, retry_after=retry_after, options=options
+        )
 
     def _get_json(self, path: str) -> Any:
         status, headers, payload = self._request("GET", path)

@@ -46,12 +46,22 @@ __all__ = [
 
 
 class RequestError(ValueError):
-    """A request the service refuses, with a machine-readable code."""
+    """A request the service refuses, with a machine-readable code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``options`` (when set) enumerates the valid values for the field
+    the request got wrong -- e.g. every design key in the live registry
+    -- and is surfaced verbatim in the 400 body, so clients can recover
+    without a round trip to the docs and new registry entries show up
+    in rejections without any protocol change.
+    """
+
+    def __init__(
+        self, code: str, message: str, options: list[str] | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.options = options
 
 
 def canonical_json(payload: object) -> bytes:
@@ -165,13 +175,16 @@ def parse_request(
         raise RequestError(
             "unknown-design",
             f"unknown design {design_key!r}; options: {sorted(design_keys)}",
+            options=sorted(design_keys),
         )
     scale = payload.get("scale", default_scale)
     if scale is None:
         scale = current_scale()
     if scale not in SCALES:
         raise RequestError(
-            "unknown-scale", f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+            "unknown-scale",
+            f"scale must be one of {sorted(SCALES)}, got {scale!r}",
+            options=sorted(SCALES),
         )
     warmup = payload.get("warmup", 0.3)
     if not isinstance(warmup, (int, float)) or isinstance(warmup, bool):

@@ -548,11 +548,16 @@ class SimulationService:
     # -- request handlers ----------------------------------------------------
 
     def _reject(
-        self, rid: str, status: HTTPStatus, code: str, message: str
+        self,
+        rid: str,
+        status: HTTPStatus,
+        code: str,
+        message: str,
+        options: list[str] | None = None,
     ) -> tuple[int, bytes, dict[str, str]]:
         """A structured rejection, traced and tagged with the rid."""
         self.events.emit("respond", rid=rid, status=int(status), outcome=code)
-        result = _error(status, code, message)
+        result = _error(status, code, message, options)
         result[2]["X-Repro-Request-Id"] = rid
         return result
 
@@ -589,7 +594,10 @@ class SimulationService:
             registry.counter(
                 "serve_requests_total", "simulate requests by outcome"
             ).inc(outcome="bad-request")
-            return self._reject(rid, HTTPStatus.BAD_REQUEST, error.code, error.message)
+            return self._reject(
+                rid, HTTPStatus.BAD_REQUEST, error.code, error.message,
+                options=error.options,
+            )
         if self._inflight >= self.config.queue_limit:
             self.counters["rejected"] += 1
             registry.counter(
@@ -829,9 +837,17 @@ class SimulationService:
 
 
 def _error(
-    status: HTTPStatus, code: str, message: str
+    status: HTTPStatus,
+    code: str,
+    message: str,
+    options: list[str] | None = None,
 ) -> tuple[int, bytes, dict[str, str]]:
-    body = canonical_json({"ok": False, "error": {"code": code, "message": message}})
+    error: dict[str, object] = {"code": code, "message": message}
+    if options is not None:
+        # Valid values for the rejected field (e.g. the live design
+        # registry), so clients can self-correct from the 400 alone.
+        error["options"] = options
+    body = canonical_json({"ok": False, "error": error})
     return int(status), body, {}
 
 

@@ -272,3 +272,61 @@ def test_fuzz_sweep_is_deterministic():
     assert trace_a.pcs == trace_b.pcs
     assert trace_a.targets == trace_b.targets
     assert _fuzz_design(5)[0] == _fuzz_design(5)[0]
+
+
+# -- literature families (general engine only) -------------------------------
+#
+# MicroBTB and ShadowBTB opt out of the decoded-trace tiers
+# (supports_fast_path = False, like GhrpBTB): victim-fill/promotion and
+# fetch-line exposure are invisible to the fast hooks.  Auto must route
+# them to the general engine, forced fast/vector must refuse, and the
+# general engine must still match the frozen seed referee exactly.
+
+from repro.experiments.designs import micro_btb_design, shadow_design
+
+
+def _literature_designs():
+    return {
+        "micro-btb": micro_btb_design(),
+        "shadow-baseline": shadow_design("baseline"),
+        "shadow-pdede": shadow_design("pdede"),
+    }
+
+
+@pytest.mark.parametrize("key", sorted(_literature_designs()))
+def test_literature_families_fall_back_to_general_and_match_seed(key):
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    design = _literature_designs()[key]
+    simulator, stats, seed_stats = _run_both(design, trace)
+    assert simulator.last_engine == "general"
+    assert stats.to_dict() == seed_stats.to_dict()
+
+
+@pytest.mark.parametrize("engine", ["vector", "fast"])
+@pytest.mark.parametrize("key", sorted(_literature_designs()))
+def test_literature_families_refuse_forced_fast_tiers(key, engine):
+    trace = get_trace(TRACE_APP, TRACE_SCALE)
+    btb, kwargs = _literature_designs()[key].build()
+    simulator = FrontendSimulator(btb, engine=engine, **kwargs)
+    with pytest.raises(ValueError, match="not applicable"):
+        simulator.run(trace, warmup_fraction=0.3)
+
+
+@pytest.mark.parametrize("fuzz_seed", range(4))
+def test_differential_fuzz_literature_families(fuzz_seed):
+    """The seedref differential sweep over the opted-out families: the
+    general engine vs the referee on randomized workloads."""
+    spec = _fuzz_spec(1000 + fuzz_seed)
+    designs = _literature_designs()
+    key = sorted(designs)[fuzz_seed % len(designs)]
+    trace = generate_trace(spec)
+    diff = _diff_fields(designs[key], trace)
+    if diff:
+        shrunk = _shrink_prefix(designs[key], spec, len(trace))
+        raise AssertionError(
+            f"general engine diverges from seed referee on fuzz seed "
+            f"{1000 + fuzz_seed} (design {key!r}, {len(trace)} events; "
+            f"shrunk to first {shrunk} events).\n"
+            f"Reproduce with: generate_trace({spec!r}).truncate({shrunk})\n"
+            f"Diverging fields: {diff}"
+        )

@@ -42,6 +42,9 @@ FAMILIES = [
     "dedup-only",
     "partition-only",
     "shotgun",
+    "micro-btb",
+    "shadow-baseline",
+    "shadow-pdede",
 ]
 
 

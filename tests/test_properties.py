@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.branch.address import (
@@ -169,3 +170,54 @@ def test_generator_invariants_hold_for_any_seed(seed):
             stack.append(pc + 4)
         if kind.is_return:
             assert stack and stack.pop() == target
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_characterization_kind_mix_is_a_distribution(seed):
+    """The profile's kind mix is a probability distribution over taken
+    branches: every fraction in [0, 1], summing to exactly 1."""
+    from repro.analysis.characterize import characterize
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name="prop_mix", category="Server", seed=seed, n_events=600,
+        n_functions=120, hot_functions_per_phase=30, phase_calls=50,
+        n_regions=4,
+    )
+    profile = characterize(generate_trace(spec))
+    assert all(0.0 <= fraction <= 1.0 for fraction in profile.kind_mix.values())
+    assert sum(profile.kind_mix.values()) == pytest.approx(1.0)
+    assert sum(profile.distance_buckets.values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=599),
+)
+def test_characterization_footprint_monotone_in_prefix(seed, cut):
+    """Watching more of a capture can only grow its footprint: every
+    uniqueness count of a prefix is <= the full trace's, and the
+    region/page/target counts respect the address hierarchy."""
+    from repro.analysis.characterize import characterize
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name="prop_footprint", category="Server", seed=seed, n_events=600,
+        n_functions=120, hot_functions_per_phase=30, phase_calls=50,
+        n_regions=4,
+    )
+    full_trace = generate_trace(spec)
+    full = characterize(full_trace)
+    prefix_trace = generate_trace(spec)
+    prefix_trace.truncate(cut)
+    prefix = characterize(prefix_trace)
+    for metric in ("unique_pcs", "unique_targets", "unique_regions",
+                   "unique_pages"):
+        assert getattr(prefix, metric) <= getattr(full, metric), metric
+    for profile in (prefix, full):
+        assert profile.unique_regions <= profile.unique_pages
+        assert profile.unique_pages <= profile.unique_targets

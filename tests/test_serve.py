@@ -265,6 +265,44 @@ def test_malformed_requests_get_structured_400s():
         handle.shutdown()
 
 
+def test_unknown_design_400_enumerates_the_live_registry():
+    """The rejection must list every key of the *live* design registry
+    (including families registered after the protocol was written), so
+    clients can self-correct without a docs round trip."""
+    handle = serve_in_thread(_config())
+    try:
+        port = handle.port
+        status, payload = _post_raw(
+            port, b'{"design": "no-such-design", "app": "server_oltp_00"}'
+        )
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "unknown-design"
+        assert error["options"] == sorted(design_registry())
+        for family in ("micro-btb", "shadow-baseline", "shadow-pdede",
+                       "pdede-default"):
+            assert family in error["options"]
+        # The blocking client surfaces the same enumeration.
+        client = ServeClient(port=port)
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(design="no-such-design", app=APP)
+        assert excinfo.value.code == "unknown-design"
+        assert excinfo.value.options == sorted(design_registry())
+        # unknown-scale enumerates too; other 400s carry no options key.
+        status, payload = _post_raw(
+            port,
+            b'{"design": "baseline", "app": "server_oltp_00", '
+            b'"scale": "galactic"}',
+        )
+        assert status == 400
+        assert payload["error"]["options"] == sorted(suite.SCALES)
+        status, payload = _post_raw(port, b'{"app": "server_oltp_00"}')
+        assert status == 400
+        assert "options" not in payload["error"]
+    finally:
+        handle.shutdown()
+
+
 # -- graceful shutdown -------------------------------------------------------
 
 
