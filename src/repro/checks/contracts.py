@@ -89,6 +89,11 @@ _KNOB_LIST = (
     Knob("REPRO_SERVE_SCALE", "runtime", "serve-side workload scale override"),
     Knob("REPRO_SERVE_TRACE_BUFFER", "runtime", "event-log ring capacity"),
     Knob("REPRO_SERVE_EVENTS", "runtime", "event-log JSONL sink path"),
+    Knob("REPRO_SERVE_STORE", "runtime", "shared result-store URL (redis://, disk://, fake://)"),
+    Knob("REPRO_SERVE_STORE_TTL", "runtime", "cross-replica single-flight lease TTL seconds"),
+    Knob("REPRO_SERVE_STORE_WAIT", "runtime", "seconds to await another replica's publish before local compute"),
+    Knob("REPRO_SERVE_STORE_POLL", "runtime", "result-poll cadence while awaiting a publish"),
+    Knob("REPRO_REDIS_URL", "test", "opt-in Redis endpoint for the RedisStore contract tests"),
     Knob("REPRO_TEST_KEEP_ENV", "test", "comma list of REPRO_* vars the hermetic test fixture preserves"),
 )
 
@@ -107,6 +112,7 @@ METRIC_CATALOG = frozenset(
         "serve_batch_size",
         "serve_cache_outcome_total",
         "serve_trace_decodes_total",
+        "serve_store_errors_total",
         "frontend_stall_cycles_total",
         "frontend_resteers_total",
         "frontend_engine_events_per_sec",
@@ -135,6 +141,7 @@ EVENT_CATALOG = frozenset(
         "cache-lookup",
         "disk-result",
         "scheduler-grid",
+        "store_degraded",
     }
 )
 

@@ -423,15 +423,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "default_scale": args.scale,
             "trace_buffer": args.trace_buffer,
             "events_path": args.events_out,
+            "store_url": args.store,
+            "store_ttl": args.store_ttl,
         }.items()
         if value is not None
     }
     service = SimulationService(config=config_from_env().replace(**overrides))
 
     def ready() -> None:
+        store = service.store.describe()["kind"] if service.store else "none"
         print(f"serving on http://{service.config.host}:{service.port} "
               f"(queue limit {service.config.queue_limit}, "
-              f"batch window {service.config.batch_window * 1000:.0f}ms)",
+              f"batch window {service.config.batch_window * 1000:.0f}ms, "
+              f"store {store})",
               file=sys.stderr)
 
     asyncio.run(service.serve_forever(_on_ready=ready))
@@ -742,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-buffer", type=int, default=None, metavar="N",
                        help="request-event ring capacity, 0 disables tracing "
                             "(default: REPRO_SERVE_TRACE_BUFFER or 4096)")
+    serve.add_argument("--store", default=None, metavar="URL",
+                       help="shared result-store backend "
+                            "(redis://host:port/db, disk://, fake://name; "
+                            "default REPRO_SERVE_STORE or none)")
+    serve.add_argument("--store-ttl", type=float, default=None, metavar="SECONDS",
+                       help="cross-replica single-flight lease TTL "
+                            "(default REPRO_SERVE_STORE_TTL or 30)")
     serve.add_argument("--events-out", default=None, metavar="FILE",
                        help="also append every request event to FILE as JSONL "
                             "(default: REPRO_SERVE_EVENTS or unset)")

@@ -32,7 +32,7 @@ from repro.obs import events as obs_events
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.workloads.suite import build_suite, current_scale, get_trace
-from repro.experiments import diskcache, scheduler
+from repro.experiments import diskcache, resultstore, scheduler
 from repro.experiments.designs import Design
 
 #: (trace name, scale, design key, params, warmup) -> FrontendStats
@@ -146,9 +146,8 @@ def run_design(
     # registry counter's "miss" outcome therefore counts *fresh runs*.
     disk_key = None
     if use_cache and diskcache.disk_cache_enabled():
-        disk_key = diskcache.result_key(
-            trace_name, scale, design.key, params, warmup_fraction,
-            spec=_find_spec(trace_name, scale),
+        disk_key = result_store_key(
+            trace_name, design.key, params, warmup_fraction, scale
         )
         stats = diskcache.load_result(disk_key)
         if stats is not None:
@@ -157,6 +156,28 @@ def run_design(
             registry.counter(
                 "harness_result_cache_total", "memo-cache lookups by outcome"
             ).inc(outcome="disk-hit")
+            return stats
+    # Below the disk: the cluster-shared result store (when one is
+    # active) -- a hit here is a simulation some other replica (or an
+    # earlier batch run) already paid for.
+    store = resultstore.get_active_store() if use_cache else None
+    if store is not None:
+        store_key = disk_key or result_store_key(
+            trace_name, design.key, params, warmup_fraction, scale
+        )
+        try:
+            stats = store.get_result(store_key)
+        except resultstore.StoreError as error:
+            resultstore.degraded(
+                "get_result", error, app=trace_name, design=design.key
+            )
+            stats = None
+        if stats is not None:
+            with _CACHE_LOCK:
+                _RESULT_CACHE[key] = stats
+            registry.counter(
+                "harness_result_cache_total", "memo-cache lookups by outcome"
+            ).inc(outcome="store-hit")
             return stats
     registry.counter(
         "harness_result_cache_total", "memo-cache lookups by outcome"
@@ -192,6 +213,19 @@ def run_design(
             _RESULT_CACHE[key] = stats
         if disk_key is not None:
             diskcache.store_result(disk_key, stats)
+        if store is not None:
+            try:
+                store.put_result(
+                    disk_key
+                    or result_store_key(
+                        trace_name, design.key, params, warmup_fraction, scale
+                    ),
+                    stats,
+                )
+            except resultstore.StoreError as error:
+                resultstore.degraded(
+                    "put_result", error, app=trace_name, design=design.key
+                )
     return stats
 
 
@@ -223,12 +257,15 @@ def lookup_cached(
     warmup_fraction: float = 0.3,
     scale: str | None = None,
 ) -> tuple[FrontendStats | None, str]:
-    """Peek the memo and disk caches without ever simulating.
+    """Peek the memo, disk and shared-store caches without simulating.
 
-    Returns ``(stats, outcome)`` where outcome is ``"memo"``, ``"disk"``
-    or ``"miss"`` (stats is ``None`` on a miss).  A disk hit is promoted
-    into the memo so the next peek is a memo hit.  Deliberately does not
-    touch :func:`cache_info` telemetry -- that surface counts
+    Returns ``(stats, outcome)`` where outcome is ``"memo"``, ``"disk"``,
+    ``"store"`` (a cluster-shared :mod:`resultstore` hit) or ``"miss"``
+    (stats is ``None`` on a miss).  A disk or store hit is promoted
+    into the memo so the next peek is a memo hit.  A shared-store
+    backend failure is recorded (``store_degraded``) and read as a miss
+    -- the caller simulates locally.  Deliberately does not touch
+    :func:`cache_info` telemetry -- that surface counts
     :func:`run_design` lookups only; the serving layer publishes its own
     ``serve_cache_outcome_total`` series.
     """
@@ -245,9 +282,8 @@ def lookup_cached(
         )
         return cached, "memo"
     if diskcache.disk_cache_enabled():
-        disk_key = diskcache.result_key(
-            trace_name, scale, design.key, params, warmup_fraction,
-            spec=_find_spec(trace_name, scale),
+        disk_key = result_store_key(
+            trace_name, design.key, params, warmup_fraction, scale
         )
         stats = diskcache.load_result(disk_key)
         if stats is not None:
@@ -258,6 +294,27 @@ def lookup_cached(
                 design=design.key, hit=True,
             )
             return stats, "disk"
+    store = resultstore.get_active_store()
+    if store is not None:
+        try:
+            stats = store.get_result(
+                result_store_key(
+                    trace_name, design.key, params, warmup_fraction, scale
+                )
+            )
+        except resultstore.StoreError as error:
+            resultstore.degraded(
+                "get_result", error, app=trace_name, design=design.key
+            )
+            stats = None
+        if stats is not None:
+            with _CACHE_LOCK:
+                _RESULT_CACHE[key] = stats
+            obs_events.emit(
+                "cache-lookup", layer="store", app=trace_name,
+                design=design.key, hit=True,
+            )
+            return stats, "store"
     obs_events.emit(
         "cache-lookup", layer="all", app=trace_name,
         design=design.key, hit=False,
@@ -272,19 +329,56 @@ def adopt_result(
     params: CoreParams = ICELAKE,
     warmup_fraction: float = 0.3,
     scale: str | None = None,
+    publish: bool = False,
 ) -> None:
     """Install an externally-computed result in the memo cache.
 
     The serving layer's scheduler bridge computes results through
     :func:`repro.experiments.scheduler.run_grid` (which persists them to
     the disk cache itself) and adopts them here so later ``run_design``
-    and :func:`lookup_cached` calls memo-hit.
+    and :func:`lookup_cached` calls memo-hit.  With ``publish=True`` the
+    result is also pushed to the active shared store (idempotent:
+    values are content-addressed, so a re-publish writes identical
+    bytes), making the adoption visible to every replica.
     """
     if not cache_enabled():
         return
     scale = scale or current_scale()
     with _CACHE_LOCK:
         _RESULT_CACHE[(trace_name, scale, design.key, params, warmup_fraction)] = stats
+    if publish:
+        store = resultstore.get_active_store()
+        if store is not None:
+            try:
+                store.put_result(
+                    result_store_key(
+                        trace_name, design.key, params, warmup_fraction, scale
+                    ),
+                    stats,
+                )
+            except resultstore.StoreError as error:
+                resultstore.degraded(
+                    "put_result", error, app=trace_name, design=design.key
+                )
+
+
+def result_store_key(
+    trace_name: str,
+    design_key: str,
+    params: CoreParams,
+    warmup_fraction: float,
+    scale: str,
+) -> str:
+    """The content hash a suite (app, design) result is shared under.
+
+    One key function for all three result tiers -- disk cache, shared
+    store, and the serving layer's single-flight leases -- so a value
+    published anywhere is a hit everywhere.
+    """
+    return diskcache.result_key(
+        trace_name, scale, design_key, params, warmup_fraction,
+        spec=_find_spec(trace_name, scale),
+    )
 
 
 def _find_spec(trace_name: str, scale: str):

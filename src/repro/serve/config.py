@@ -41,6 +41,16 @@ class ServeConfig:
             ``GET /debug/trace`` (``0`` disables request tracing).
         events_path: optional JSONL file every request event is also
             appended to (the ring only holds the recent window).
+        store_url: shared result-store backend URL
+            (``redis://host:port/db``, ``disk://``, ``fake://name``;
+            ``None`` disables the cluster-shared tier).  See README
+            "Shared result store".
+        store_ttl: single-flight lease TTL seconds; a replica that dies
+            mid-simulation orphans its claim for at most this long
+            (heartbeats renew at TTL/3 while it computes).
+        store_wait: seconds a replica waits for another's publish
+            before degrading to local compute (deadlock ceiling).
+        store_poll: result-poll cadence while awaiting a publish.
     """
 
     host: str = "127.0.0.1"
@@ -55,6 +65,10 @@ class ServeConfig:
     default_scale: str | None = None
     trace_buffer: int = 4096
     events_path: str | None = None
+    store_url: str | None = None
+    store_ttl: float = 30.0
+    store_wait: float = 120.0
+    store_poll: float = 0.05
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -65,6 +79,12 @@ class ServeConfig:
             raise ValueError("batch_window must be non-negative")
         if self.trace_buffer < 0:
             raise ValueError("trace_buffer must be non-negative")
+        if self.store_ttl <= 0:
+            raise ValueError("store_ttl must be positive")
+        if self.store_wait <= 0:
+            raise ValueError("store_wait must be positive")
+        if self.store_poll <= 0:
+            raise ValueError("store_poll must be positive")
 
     def replace(self, **changes: Any) -> "ServeConfig":
         return replace(self, **changes)
@@ -94,4 +114,8 @@ def config_from_env() -> ServeConfig:
         default_scale=os.environ.get("REPRO_SERVE_SCALE") or None,
         trace_buffer=_int("REPRO_SERVE_TRACE_BUFFER", 4096),
         events_path=os.environ.get("REPRO_SERVE_EVENTS") or None,
+        store_url=os.environ.get("REPRO_SERVE_STORE") or None,
+        store_ttl=_float("REPRO_SERVE_STORE_TTL", 30.0),
+        store_wait=_float("REPRO_SERVE_STORE_WAIT", 120.0),
+        store_poll=_float("REPRO_SERVE_STORE_POLL", 0.05),
     )

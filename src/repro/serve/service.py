@@ -15,12 +15,21 @@ Request lifecycle (``POST /v1/simulate``):
    (:meth:`~repro.workloads.trace.Trace.decoded`) are computed once per
    batch, and identical jobs collapse to one simulation (single-flight).
 4. **execution** -- the batch runs on a worker thread: warm jobs answer
-   from the harness memo / disk cache; cold suite jobs run as one
-   in-process vectorised multi-design pass over the batch's shared
-   decoded trace (or bridge to the shard scheduler,
+   from the harness memo / disk cache (or the cluster-shared result
+   store, outcome ``"store"``); cold suite jobs run as one in-process
+   vectorised multi-design pass over the batch's shared decoded trace
+   (or bridge to the shard scheduler,
    :func:`repro.experiments.scheduler.run_grid`, when
    ``REPRO_SCHED_WORKERS``/``SHARDS`` configure sharded execution);
-   cold inline-spec jobs simulate directly.
+   cold inline-spec jobs simulate directly.  With a shared store
+   configured (``--store`` / ``REPRO_SERVE_STORE``), every cold job
+   first runs the cross-node single-flight protocol
+   (:func:`repro.experiments.resultstore.fetch_or_compute`): exactly
+   one replica cluster-wide claims the lease and simulates while the
+   others await its published result; a store outage degrades to local
+   compute (outcome ``"local"``, ``store_degraded`` event,
+   ``serve_store_errors_total`` metric) -- never a wrong answer, never
+   a lost request.
 5. **response** -- the body is the canonical JSON of
    ``FrontendStats.to_dict()`` (byte-identical to a direct
    :func:`repro.experiments.harness.run_one` caller's serialisation);
@@ -64,6 +73,7 @@ from http import HTTPStatus
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
+from repro.experiments import resultstore
 from repro.frontend.simulator import FrontendSimulator
 from repro.frontend.stats import FrontendStats
 from repro.obs import events as obs_events
@@ -146,6 +156,18 @@ def _lookup_adhoc(job: SimJob) -> tuple[FrontendStats | None, str]:
         if stats is not None:
             _ADHOC_MEMO[key] = stats
             return stats, "disk"
+    store = resultstore.get_active_store()
+    if store is not None:
+        try:
+            stats = store.get_result(_adhoc_result_key(job))
+        except resultstore.StoreError as error:
+            resultstore.degraded(
+                "get_result", error, app=job.trace_name, design=job.design_key
+            )
+            stats = None
+        if stats is not None:
+            _ADHOC_MEMO[key] = stats
+            return stats, "store"
     return None, "miss"
 
 
@@ -253,11 +275,97 @@ def _simulate_adhoc(job: SimJob, trace: Trace, registry: dict[str, Any]) -> Fron
     return stats
 
 
-def default_batch_runner(jobs: list[SimJob]) -> BatchOutcome:
+def _run_store_misses(
+    store: "resultstore.ResultStore",
+    opts: dict,
+    misses: list[SimJob],
+    registry: dict[str, Any],
+    outcome: BatchOutcome,
+) -> None:
+    """Cluster-wide single-flight for a batch's cold jobs.
+
+    Each job's content-addressed key runs through
+    :func:`repro.experiments.resultstore.fetch_or_compute`: one replica
+    cluster-wide wins the lease CAS and simulates (outcome ``fresh``),
+    the rest await its publish (outcome ``store``); a backend failure
+    or an over-long wait degrades to local compute (outcome ``local``).
+    The trace is resolved and decoded lazily -- a batch fully answered
+    by other replicas' publishes never touches trace data at all.
+    """
+    from repro.experiments import harness
+
+    lead = misses[0]
+    state: dict[str, Trace] = {}
+
+    def ensure_trace() -> Trace:
+        trace = state.get("trace")
+        if trace is None:
+            trace = _resolve_trace(lead)
+            if not trace.is_decoded:
+                outcome.decodes = 1
+            trace.decoded()
+            state["trace"] = trace
+        return trace
+
+    for job in misses:
+        if job.spec is None:
+            # Key by the *resolved* design's key, not the request's
+            # registry name: aliases ("baseline" -> "baseline-4096")
+            # must share one store slot with harness/disk publishes.
+            key = harness.result_store_key(
+                job.trace_name, registry[job.design_key].key, job.params,
+                job.warmup_fraction, job.scale,
+            )
+
+            def compute(job: SimJob = job) -> FrontendStats:
+                ensure_trace()
+                return harness.run_one(
+                    job.trace_name, registry[job.design_key],
+                    params=job.params, warmup_fraction=job.warmup_fraction,
+                    scale=job.scale,
+                )
+
+        else:
+            key = _adhoc_result_key(job)
+
+            def compute(job: SimJob = job) -> FrontendStats:
+                return _simulate_adhoc(job, ensure_trace(), registry)
+
+        stats, kind = resultstore.fetch_or_compute(
+            store, key, compute,
+            ttl=opts.get("ttl", 30.0),
+            wait_timeout=opts.get("wait", 120.0),
+            poll_interval=opts.get("poll", 0.05),
+            context={"app": job.trace_name, "design": job.design_key},
+        )
+        if kind == "store":
+            # Another replica paid for the simulation: adopt the value
+            # into the local memo so the next lookup never leaves the
+            # process.
+            if job.spec is None:
+                harness.adopt_result(
+                    job.trace_name, registry[job.design_key], stats,
+                    params=job.params, warmup_fraction=job.warmup_fraction,
+                    scale=job.scale,
+                )
+            else:
+                _ADHOC_MEMO[
+                    (job.spec_digest, job.design_key, job.params, job.warmup_fraction)
+                ] = stats
+        outcome.results[job] = (stats, kind)
+
+
+def default_batch_runner(
+    jobs: list[SimJob],
+    store: "resultstore.ResultStore | None" = None,
+    store_opts: dict | None = None,
+) -> BatchOutcome:
     """Answer every unique job of one batch (all share a trace).
 
     Warm jobs never touch the trace at all; the trace is resolved and
     decoded (once) only when at least one job must actually simulate.
+    With a shared store active, cold jobs run the cross-node
+    single-flight protocol instead of simulating unconditionally.
     """
     from repro.experiments import harness
     from repro.experiments.designs import design_registry
@@ -279,6 +387,10 @@ def default_batch_runner(jobs: list[SimJob]) -> BatchOutcome:
         else:
             outcome.results[job] = (stats, kind)
     if not misses:
+        return outcome
+    store = store if store is not None else resultstore.get_active_store()
+    if store is not None:
+        _run_store_misses(store, store_opts or {}, misses, registry, outcome)
         return outcome
     trace = _resolve_trace(misses[0])
     if not trace.is_decoded:
@@ -343,15 +455,41 @@ class SimulationService:
             worker thread (default :func:`default_batch_runner`; tests
             inject slow or counting runners, as the scheduler's fault
             tests do).
+        store: shared result store for cross-replica dedup (default:
+            built from ``config.store_url``; tests inject a
+            :class:`~repro.experiments.resultstore.FakeStore` shared by
+            several in-process replicas).  A non-None store is also
+            installed process-wide so the harness cache-lookup path
+            consults it.
     """
 
     def __init__(
         self,
         config: ServeConfig | None = None,
         runner: Callable[[list[SimJob]], BatchOutcome] | None = None,
+        store: "resultstore.ResultStore | None" = None,
     ) -> None:
         self.config = config or config_from_env()
-        self._runner = runner or default_batch_runner
+        self.store = (
+            store
+            if store is not None
+            else resultstore.store_from_url(self.config.store_url)
+        )
+        if self.store is not None:
+            resultstore.set_active_store(self.store)
+        store_opts = {
+            "ttl": self.config.store_ttl,
+            "wait": self.config.store_wait,
+            "poll": self.config.store_poll,
+        }
+        if runner is not None:
+            self._runner = runner
+        elif self.store is not None:
+            self._runner = lambda jobs: default_batch_runner(
+                jobs, store=self.store, store_opts=store_opts
+            )
+        else:
+            self._runner = default_batch_runner
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event: asyncio.Event | None = None
         self._batches: dict[tuple[str, str], _Batch] = {}
@@ -392,7 +530,7 @@ class SimulationService:
             "max_batch_size": 0,
             "trace_decodes": 0,
             "fresh_jobs": 0,
-            "outcomes": {"memo": 0, "disk": 0, "fresh": 0},
+            "outcomes": {"memo": 0, "disk": 0, "fresh": 0, "store": 0, "local": 0},
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -530,7 +668,9 @@ class SimulationService:
                         future.set_exception(error)
                 continue
             stats, kind = result
-            if kind == "fresh":
+            if kind in ("fresh", "local"):
+                # "local" is a degraded fresh simulation: the shared
+                # store was unreachable, so this replica computed.
                 self.counters["fresh_jobs"] += 1
             self.counters["outcomes"][kind] = (
                 self.counters["outcomes"].get(kind, 0) + len(waiters)
@@ -686,6 +826,9 @@ class SimulationService:
             "scheduler": scheduler.session_counters(),
             "harness_cache": harness.cache_info(),
             "disk_cache": diskcache.disk_cache_info(),
+            "result_store": (
+                self.store.describe() if self.store is not None else {"kind": "none"}
+            ),
         }
 
     async def _dispatch(
@@ -893,13 +1036,16 @@ class ServiceHandle:
 def serve_in_thread(
     config: ServeConfig | None = None,
     runner: Callable[[list[SimJob]], BatchOutcome] | None = None,
+    store: "resultstore.ResultStore | None" = None,
 ) -> ServiceHandle:
     """Boot a service on a daemon thread and wait until it listens.
 
     The end-to-end tests use this (with ``port=0`` for an ephemeral
     port); production deployments run ``python -m repro serve`` instead.
+    The distributed tests boot several of these over one shared
+    ``store`` to exercise cross-replica single-flight in-process.
     """
-    service = SimulationService(config=config, runner=runner)
+    service = SimulationService(config=config, runner=runner, store=store)
     ready = threading.Event()
     failure: list[BaseException] = []
 

@@ -18,7 +18,10 @@ from repro.workloads.trace import Trace
 #: Environment prefixes that change simulation scheduling, caching, or
 #: serving behaviour.  Any of these leaking in from the developer's (or
 #: CI job's) shell would make a test depend on ambient state.
-_HERMETIC_PREFIXES = ("REPRO_SCHED_", "REPRO_DISK_CACHE", "REPRO_SERVE_")
+#: ``REPRO_REDIS`` covers ``REPRO_REDIS_URL``: the store contract suite
+#: captures it at import time (before this fixture runs) so the opt-in
+#: Redis backend still works, but no other test sees the variable.
+_HERMETIC_PREFIXES = ("REPRO_SCHED_", "REPRO_DISK_CACHE", "REPRO_SERVE_", "REPRO_REDIS")
 
 
 @pytest.fixture(autouse=True)
@@ -48,6 +51,14 @@ def _hermetic_env(tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_DISK_CACHE", "0")
     if "REPRO_DISK_CACHE_DIR" not in keep:
         monkeypatch.setenv("REPRO_DISK_CACHE_DIR", str(tmp_path / "disk-cache"))
+    yield
+    # The serving layer installs its shared result store process-wide
+    # (and fake:// URLs register in a process-global registry); neither
+    # may leak into the next test.
+    from repro.experiments import resultstore
+
+    resultstore.set_active_store(None)
+    resultstore.reset_fakes()
 
 
 def make_event(
